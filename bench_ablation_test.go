@@ -1,0 +1,117 @@
+// Ablation study: how much does each CT-graph information source
+// contribute to the predictor? The paper motivates each edge type (§3.1)
+// and discusses multi-hop URBs (§6); this benchmark retrains the PIC under
+// knocked-out variants and compares validation URB ranking quality —
+// the ablation evidence DESIGN.md §5 calls for.
+package snowcat_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/dataset"
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+)
+
+type ablationRow struct {
+	name string
+	ap   float64
+	f1   float64
+	urbs float64 // mean URBs per graph (changes with the hop limit)
+}
+
+var (
+	ablOnce  sync.Once
+	ablMu    sync.Mutex
+	ablCache []ablationRow
+)
+
+// ablate builds a dataset with the modified builder, trains a model, and
+// reports validation URB metrics.
+func ablate(k *kernel.Kernel, name string, seed uint64, modify func(*dataset.Collector)) ablationRow {
+	col := dataset.NewCollector(k, seed)
+	if modify != nil {
+		modify(col)
+	}
+	ds, err := col.Collect(dataset.Config{Seed: seed + 1, NumCTIs: 30, InterleavingsPerCTI: 10})
+	if err != nil {
+		panic(err)
+	}
+	train, valid, _ := ds.SplitByCTI(0.7, 0.3, seed+2)
+
+	m := pic.New(pic.Config{Dim: 14, Layers: 3, LR: 3e-3, Epochs: 2, Seed: seed + 3, PosWeight: 8})
+	tc := pic.NewTokenCache(k, m.Vocab)
+	m.Pretrain(tc, 1, seed+4)
+	if _, err := m.Train(train.Flatten(), tc); err != nil {
+		panic(err)
+	}
+	m.Tune(valid.Flatten(), tc)
+	rep := pic.EvaluateScorer(m.AsScorer(tc), valid.Flatten(), m.Threshold, pic.URBOnly)
+
+	urbs := 0
+	exs := valid.Flatten()
+	for _, ex := range exs {
+		urbs += ex.G.NumURB()
+	}
+	row := ablationRow{name: name, ap: rep.AP, f1: rep.F1}
+	if len(exs) > 0 {
+		row.urbs = float64(urbs) / float64(len(exs))
+	}
+	return row
+}
+
+func ablationRows() []ablationRow {
+	ablMu.Lock()
+	defer ablMu.Unlock()
+	if ablCache != nil {
+		return ablCache
+	}
+	f := getFixture()
+	k := f.k512
+	const seed = 700
+	ablCache = []ablationRow{
+		ablate(k, "full graph", seed, nil),
+		ablate(k, "no inter-thread DF", seed, func(c *dataset.Collector) {
+			c.Builder = c.Builder.WithoutEdges(ctgraph.InterDF)
+		}),
+		ablate(k, "no hint edges", seed, func(c *dataset.Collector) {
+			c.Builder = c.Builder.WithoutEdges(ctgraph.Hint)
+		}),
+		ablate(k, "no shortcut edges", seed, func(c *dataset.Collector) {
+			c.Builder = c.Builder.WithoutEdges(ctgraph.Shortcut)
+		}),
+		ablate(k, "no data flow at all", seed, func(c *dataset.Collector) {
+			c.Builder = c.Builder.WithoutEdges(ctgraph.InterDF, ctgraph.IntraDF)
+		}),
+		ablate(k, "3-hop URBs (§6)", seed, func(c *dataset.Collector) {
+			nb := *c.Builder
+			nb.HopLimit = 3
+			c.Builder = &nb
+		}),
+	}
+	return ablCache
+}
+
+func BenchmarkAblationEdgeTypes(b *testing.B) {
+	rows := ablationRows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ablationRows()
+	}
+	full, noDF := rows[0], rows[4]
+	b.ReportMetric(full.ap, "full-AP")
+	b.ReportMetric(full.ap-noDF.ap, "AP-drop-no-DF")
+
+	printOnce(&ablOnce, func() {
+		fmt.Println("\n=== Ablation: CT-graph information sources (validation URB metrics after retraining) ===")
+		fmt.Printf("%-22s %8s %8s %10s\n", "Variant", "AP", "F1", "URBs/graph")
+		for _, r := range rows {
+			fmt.Printf("%-22s %8.3f %7.2f%% %10.1f\n", r.name, r.ap, r.f1*100, r.urbs)
+		}
+		fmt.Println("(the paper's §6 expectation: 1-hop URBs suffice; deeper hops inflate the graph")
+		fmt.Println(" without better selection — compare URBs/graph against the AP movement)")
+	})
+}

@@ -1,0 +1,223 @@
+// Figure 5 family: cumulative data-race coverage versus simulated hours
+// for PCT and the MLPCT variants, across kernel versions and model
+// retraining regimes (§5.3.2, §5.4, Table 2).
+package snowcat_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/strategy"
+)
+
+// campaignOpts is the per-CTI exploration budget used by the figure
+// benchmarks (the paper uses 50 executions per CTI; 20 keeps the bench
+// suite fast while preserving the comparisons).
+func campaignOpts() mlpct.Options { return mlpct.Options{ExecBudget: 20, InferenceCap: 400} }
+
+// runCampaign executes one named campaign configuration.
+func runCampaign(k *kernel.Kernel, name string, seed uint64, nCTIs int,
+	tm *campaign.TrainedModel, strat strategy.Strategy) *campaign.History {
+
+	r := campaign.NewRunner(k)
+	cost := campaign.PaperCosts()
+	cfg := campaign.Config{
+		Name: name, Seed: seed, NumCTIs: nCTIs,
+		Opts: campaignOpts(), Cost: cost,
+	}
+	if tm != nil {
+		cfg.Cost = cost.WithStartup(tm.StartupHours)
+		cfg.Pred = tm.Predictor()
+		cfg.Strat = strat
+	}
+	h, err := r.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func printHistories(title string, hs []*campaign.History) {
+	fmt.Printf("\n=== %s ===\n", title)
+	fmt.Printf("%-18s %8s %8s %8s %8s %10s %10s\n",
+		"Explorer", "races", "blocks", "execs", "infers", "hours", "startup")
+	for _, h := range hs {
+		last := h.Points[len(h.Points)-1]
+		startup := h.Points[0].Hours - firstCTICost(h)
+		fmt.Printf("%-18s %8d %8d %8d %8d %10.1f %10.1f\n",
+			h.Name, h.FinalRaces, h.FinalBlocks, h.TotalExecs, h.TotalInfers, last.Hours, startup)
+	}
+	// Time-to-coverage comparisons. The 80%-of-PCT target shows the early
+	// phase (where the model's start-up charge dominates); the common-final
+	// target shows the §5.3.2 end-state ("SKI requires 100–200 more hours
+	// to reach the same Data-race-coverage as MLPCT").
+	early := hs[0].FinalRaces * 8 / 10
+	common := hs[0].FinalRaces
+	for _, h := range hs[1:] {
+		if h.FinalRaces < common && h.FinalRaces > early {
+			common = h.FinalRaces
+		}
+	}
+	for _, target := range []int{early, common} {
+		fmt.Printf("hours to reach %d races:\n", target)
+		for _, h := range hs {
+			t := h.HoursToReach(target)
+			if t < 0 {
+				fmt.Printf("  %-18s never (final %d)\n", h.Name, h.FinalRaces)
+			} else {
+				fmt.Printf("  %-18s %8.1f h\n", h.Name, t)
+			}
+		}
+	}
+}
+
+// firstCTICost approximates the first point's incremental cost so the
+// startup charge can be displayed.
+func firstCTICost(h *campaign.History) float64 {
+	if len(h.Points) < 2 {
+		return 0
+	}
+	return h.Points[1].Hours - h.Points[0].Hours
+}
+
+// ---------------------------------------------------------------------
+// Figure 5a/5b — Linux 5.12: cumulative races, PCT vs MLPCT strategies.
+// ---------------------------------------------------------------------
+
+var (
+	fig5aOnce  sync.Once
+	fig5aCache []*campaign.History
+	fig5aMu    sync.Mutex
+)
+
+func fig5aHistories() []*campaign.History {
+	fig5aMu.Lock()
+	defer fig5aMu.Unlock()
+	if fig5aCache == nil {
+		f := getFixture()
+		const n, seed = 300, 601
+		fig5aCache = []*campaign.History{
+			runCampaign(f.k512, "PCT", seed, n, nil, nil),
+			runCampaign(f.k512, "MLPCT-S1", seed, n, f.pic5, strategy.NewS1()),
+			runCampaign(f.k512, "MLPCT-S2", seed, n, f.pic5, strategy.NewS2()),
+			// The per-block trial limit scales with how often blocks repeat
+			// across CTIs: the paper's kernel has 2.7M blocks so limit 3
+			// saturates slowly; our ~350-block kernel needs a larger limit
+			// for the same behaviour.
+			runCampaign(f.k512, "MLPCT-S3", seed, n, f.pic5, strategy.NewS3(25)),
+		}
+	}
+	return fig5aCache
+}
+
+func BenchmarkFigure5aCumulativeRaces(b *testing.B) {
+	hs := fig5aHistories()
+	f := getFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runCampaign(f.k512, "probe", uint64(700+i), 2, nil, nil)
+	}
+	target := hs[0].FinalRaces * 8 / 10
+	pctT := hs[0].HoursToReach(target)
+	s1T := hs[1].HoursToReach(target)
+	if s1T > 0 {
+		b.ReportMetric(pctT/s1T, "speedup-vs-PCT")
+	}
+	printOnce(&fig5aOnce, func() {
+		printHistories("Figure 5a/5b: v5.12 cumulative race coverage "+
+			"(paper: S1 reaches 3,500 races in 155 h vs SKI 304 h; S2 starves on the inference cap)", hs)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figure 5c/5d/5e + Table 2 — Linux 6.1 with the model-variant family.
+// ---------------------------------------------------------------------
+
+var (
+	fig5cOnce  sync.Once
+	fig5cCache []*campaign.History
+	fig5cMu    sync.Mutex
+)
+
+func fig5cHistories() []*campaign.History {
+	fig5cMu.Lock()
+	defer fig5cMu.Unlock()
+	if fig5cCache == nil {
+		f := getFixture()
+		const n, seed = 300, 602
+		fig5cCache = []*campaign.History{
+			runCampaign(f.k61, "PCT", seed, n, nil, nil),
+			runCampaign(f.k61, "PIC-5", seed, n, f.pic5on61, strategy.NewS1()),
+			runCampaign(f.k61, "PIC-6.ft.sml", seed, n, f.pic6ftSml, strategy.NewS1()),
+			runCampaign(f.k61, "PIC-6.ft.med", seed, n, f.pic6ftMed, strategy.NewS1()),
+			runCampaign(f.k61, "PIC-6.scr.sml", seed, n, f.pic6scrSml, strategy.NewS1()),
+			runCampaign(f.k61, "PIC-6.scr.med", seed, n, f.pic6scrMed, strategy.NewS1()),
+		}
+	}
+	return fig5cCache
+}
+
+func BenchmarkFigure5cKernelEvolution(b *testing.B) {
+	hs := fig5cHistories()
+	f := getFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runCampaign(f.k61, "probe", uint64(800+i), 2, nil, nil)
+	}
+	pct, ftSml, scrSml := hs[0], hs[2], hs[4]
+	b.ReportMetric(float64(ftSml.FinalRaces-pct.FinalRaces)/float64(pct.FinalRaces)*100, "ft-race-gain%")
+	b.ReportMetric(float64(ftSml.FinalRaces-scrSml.FinalRaces), "ft-vs-scratch-races")
+
+	printOnce(&fig5cOnce, func() {
+		printHistories("Figure 5c/5d/5e + Table 2: v6.1 with model variants "+
+			"(paper: fine-tuned > PIC-5 > from-scratch; +17% races vs PCT after a week)", hs)
+		fmt.Println("Table 2 validation URB reports:")
+		for _, tm := range []*campaign.TrainedModel{f.pic5, f.pic6ftSml, f.pic6ftMed, f.pic6scrSml, f.pic6scrMed} {
+			fmt.Printf("  %-14s startup=%5.0fh  %s\n", tm.Name, tm.StartupHours, tm.ValidReport)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Figure 5f — Linux 5.13: PIC-5 unchanged vs PIC-5.13.ft.sml vs PCT.
+// ---------------------------------------------------------------------
+
+var (
+	fig5fOnce  sync.Once
+	fig5fCache []*campaign.History
+	fig5fMu    sync.Mutex
+)
+
+func fig5fHistories() []*campaign.History {
+	fig5fMu.Lock()
+	defer fig5fMu.Unlock()
+	if fig5fCache == nil {
+		f := getFixture()
+		const n, seed = 300, 603
+		fig5fCache = []*campaign.History{
+			runCampaign(f.k513, "PCT", seed, n, nil, nil),
+			runCampaign(f.k513, "PIC-5", seed, n, f.pic5on513, strategy.NewS1()),
+			runCampaign(f.k513, "PIC-5.13.ft.sml", seed, n, f.pic513ftSml, strategy.NewS1()),
+		}
+	}
+	return fig5fCache
+}
+
+func BenchmarkFigure5fKernel513(b *testing.B) {
+	hs := fig5fHistories()
+	f := getFixture()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runCampaign(f.k513, "probe", uint64(900+i), 2, nil, nil)
+	}
+	b.ReportMetric(float64(hs[1].FinalRaces), "PIC5-races")
+	b.ReportMetric(float64(hs[2].FinalRaces), "ft-races")
+
+	printOnce(&fig5fOnce, func() {
+		printHistories("Figure 5f: v5.13 (paper: both models beat PCT; PIC-5 stays close to the fine-tuned model)", hs)
+	})
+}

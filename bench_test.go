@@ -1,0 +1,392 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5). Each benchmark runs its experiment once (heavyweight
+// results are cached), reports the headline numbers as benchmark metrics,
+// and prints the full paper-versus-measured table. EXPERIMENTS.md records
+// a captured run.
+package snowcat_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/pic"
+	"snowcat/internal/predictor"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+var printMu sync.Mutex
+
+// printOnce serialises experiment-table output and prints each table a
+// single time even when the benchmark framework re-enters with growing N.
+func printOnce(once *sync.Once, f func()) {
+	once.Do(func() {
+		printMu.Lock()
+		defer printMu.Unlock()
+		f()
+	})
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — URB predictor performance: PIC vs All pos / Fair coin /
+// Biased coin on the evaluation split.
+// ---------------------------------------------------------------------
+
+var table1Once sync.Once
+
+func BenchmarkTable1PredictorPerformance(b *testing.B) {
+	f := getFixture()
+	preds := []predictor.Predictor{
+		f.pic5.Predictor(),
+		predictor.AllPos{},
+		predictor.FairCoin(1),
+		predictor.BiasedCoin(f.posURBRate, 2),
+	}
+	reports := make([]pic.Report, len(preds))
+	for i, p := range preds {
+		reports[i] = pic.EvaluateScorer(scorer{p}, f.evalExamples, p.Threshold(), pic.URBOnly)
+	}
+
+	b.ResetTimer()
+	var rep pic.Report
+	for i := 0; i < b.N; i++ {
+		rep = pic.EvaluateScorer(scorer{preds[0]}, f.evalExamples, preds[0].Threshold(), pic.URBOnly)
+	}
+	b.ReportMetric(rep.F1*100, "F1%")
+	b.ReportMetric(rep.Recall*100, "recall%")
+	b.ReportMetric(rep.Accuracy*100, "acc%")
+
+	printOnce(&table1Once, func() {
+		fmt.Println("\n=== Table 1: URB predictor performance (paper: PIC-5 F1=55.13 P=48.54 R=69.18 Acc=99.01 BA=84.47) ===")
+		fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s\n", "Predictor", "F1", "Prec", "Recall", "Acc", "BA", "AP")
+		for i, p := range preds {
+			r := reports[i]
+			fmt.Printf("%-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %8.3f\n",
+				p.Name(), r.F1*100, r.Precision*100, r.Recall*100, r.Accuracy*100, r.BalancedAcc*100, r.AP)
+		}
+		all := pic.EvaluateScorer(scorer{preds[0]}, f.evalExamples, preds[0].Threshold(), pic.AllVertices)
+		fmt.Printf("%-12s %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%% %8.3f   (§A.3: all vertices)\n",
+			"PIC-5/all", all.F1*100, all.Precision*100, all.Recall*100, all.Accuracy*100, all.BalancedAcc*100, all.AP)
+		fmt.Printf("positive-URB base rate: %.2f%% (paper: 1.1%%)\n", f.posURBRate*100)
+	})
+}
+
+// scorer adapts predictor.Predictor to pic.Scorer.
+type scorer struct{ p predictor.Predictor }
+
+func (s scorer) Score(g *ctgraph.Graph) []float64 { return s.p.Score(g) }
+
+// ---------------------------------------------------------------------
+// §5.2.2 — Inference cost vs dynamic-execution cost.
+// ---------------------------------------------------------------------
+
+var sec522Once sync.Once
+
+func BenchmarkSection522InferenceCost(b *testing.B) {
+	f := getFixture()
+	ex := f.evalExamples[0]
+	g := ex.G
+
+	// Reconstruct the CTI's profiles for a dynamic execution.
+	pa, err := syz.Run(f.k512, g.CTI.A)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := syz.Run(f.k512, g.CTI.B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = pa
+	_ = pb
+
+	start := time.Now()
+	const probes = 50
+	for i := 0; i < probes; i++ {
+		f.pic5.Model.Predict(g, f.pic5.TC)
+	}
+	inferSec := time.Since(start).Seconds() / probes
+
+	start = time.Now()
+	for i := 0; i < probes; i++ {
+		if _, err := ski.Execute(f.k512, g.CTI, g.Sched); err != nil {
+			b.Fatal(err)
+		}
+	}
+	execSec := time.Since(start).Seconds() / probes
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.pic5.Model.Predict(g, f.pic5.TC)
+	}
+	b.ReportMetric(execSec/inferSec, "execs/infer")
+
+	printOnce(&sec522Once, func() {
+		fmt.Println("\n=== §5.2.2: inference vs execution cost ===")
+		fmt.Printf("paper    : 0.015 s/inference, 2.8 s/execution  -> 190 predictions per execution\n")
+		fmt.Printf("measured : %.6f s/inference, %.6f s/execution -> %.1f predictions per execution\n",
+			inferSec, execSec, execSec/inferSec)
+		fmt.Println("NOTE: locally the ratio inverts — the synthetic kernel executes in microseconds")
+		fmt.Println("while a real instrumented QEMU execution takes 2.8 s. All end-to-end campaign")
+		fmt.Println("clocks therefore charge the paper's constants (internal/campaign.PaperCosts),")
+		fmt.Println("which restores the 190x asymmetry the paper's workflow exploits.")
+	})
+}
+
+// ---------------------------------------------------------------------
+// §5.3.1 — Coverage improvement per CTI: MLPCT strategies vs PCT at a
+// 50-execution budget with a 1600-inference cap.
+// ---------------------------------------------------------------------
+
+type perCTIRow struct {
+	name      string
+	races     float64 // mean unique races per CTI
+	blocks    float64 // mean schedule-dependent blocks per CTI
+	execs     float64 // mean dynamic executions actually used
+	infers    float64 // mean model inferences
+	raceGain  float64 // % over PCT
+	blockGain float64
+}
+
+// hoursPerCTI charges the paper's cost constants to one row.
+func (r perCTIRow) hoursPerCTI() float64 {
+	return (r.execs*2.8 + r.infers*0.015) / 3600
+}
+
+var (
+	sec531Once   sync.Once
+	sec531Cache  []perCTIRow
+	sec531CacheM sync.Mutex
+)
+
+// runPerCTI measures mean per-CTI coverage for each explorer at the given
+// budget over n random CTIs.
+func runPerCTI(f *fixtureT, n, budget, cap531 int, seed uint64) []perCTIRow {
+	exp := mlpct.NewExplorer(f.k512, campaign.NewRunner(f.k512).Builder,
+		mlpct.Options{ExecBudget: budget, InferenceCap: cap531})
+	gen := syz.NewGenerator(f.k512, seed)
+	rng := xrand.New(seed + 1)
+
+	type stratCase struct {
+		name  string
+		strat func() strategy.Strategy
+	}
+	cases := []stratCase{
+		{"PCT", nil},
+		{"MLPCT-S1", func() strategy.Strategy { return strategy.NewS1() }},
+		{"MLPCT-S2", func() strategy.Strategy { return strategy.NewS2() }},
+		{"MLPCT-S3", func() strategy.Strategy { return strategy.NewS3(3) }},
+	}
+	sums := make([]perCTIRow, len(cases))
+	for i := range sums {
+		sums[i].name = cases[i].name
+	}
+
+	for c := 0; c < n; c++ {
+		a, bSTI := gen.Generate(), gen.Generate()
+		cti := ski.CTI{ID: int64(c), A: a, B: bSTI}
+		pa, err := syz.Run(f.k512, a)
+		if err != nil {
+			panic(err)
+		}
+		pb, err := syz.Run(f.k512, bSTI)
+		if err != nil {
+			panic(err)
+		}
+		exploreSeed := rng.Uint64()
+		for i, cs := range cases {
+			var out *mlpct.Outcome
+			if cs.strat == nil {
+				out, err = exp.ExplorePCT(cti, pa, pb, exploreSeed)
+			} else {
+				out, err = exp.ExploreMLPCT(cti, pa, pb, exploreSeed, f.pic5.Predictor(), cs.strat())
+			}
+			if err != nil {
+				panic(err)
+			}
+			sums[i].races += float64(out.UniqueRaces())
+			sums[i].blocks += float64(out.ScheduleDependentBlocks(pa, pb))
+			sums[i].execs += float64(len(out.Results))
+			sums[i].infers += float64(out.Inferences)
+		}
+	}
+	for i := range sums {
+		sums[i].races /= float64(n)
+		sums[i].blocks /= float64(n)
+		sums[i].execs /= float64(n)
+		sums[i].infers /= float64(n)
+		if sums[0].races > 0 {
+			sums[i].raceGain = (sums[i].races/sums[0].races - 1) * 100
+		}
+		if sums[0].blocks > 0 {
+			sums[i].blockGain = (sums[i].blocks/sums[0].blocks - 1) * 100
+		}
+	}
+	return sums
+}
+
+func sec531Rows() []perCTIRow {
+	sec531CacheM.Lock()
+	defer sec531CacheM.Unlock()
+	if sec531Cache == nil {
+		sec531Cache = runPerCTI(getFixture(), 60, 50, 1600, 201)
+	}
+	return sec531Cache
+}
+
+func BenchmarkSection531PerCTICoverage(b *testing.B) {
+	rows := sec531Rows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runPerCTI(getFixture(), 2, 10, 100, uint64(300+i))
+	}
+	b.ReportMetric(rows[1].raceGain, "S1-race-gain%")
+	b.ReportMetric(rows[1].blockGain, "S1-block-gain%")
+
+	printOnce(&sec531Once, func() {
+		fmt.Println("\n=== §5.3.1: per-CTI coverage at budget 50 (paper: MLPCT +10–20% races, +6.5–25.8% blocks) ===")
+		fmt.Printf("%-10s %10s %10s %10s %10s %12s %12s %12s %11s\n",
+			"Explorer", "races/CTI", "blocks/CTI", "execs/CTI", "infers/CTI", "race-gain", "block-gain", "races/exec", "sim-h/CTI")
+		for _, r := range rows {
+			fmt.Printf("%-10s %10.2f %10.2f %10.1f %10.1f %+11.1f%% %+11.1f%% %12.2f %11.3f\n",
+				r.name, r.races, r.blocks, r.execs, r.infers, r.raceGain, r.blockGain,
+				r.races/r.execs, r.hoursPerCTI())
+		}
+		fmt.Println("(races/exec and sim-h/CTI show the filter quality the paper's end-to-end wins rest on)")
+	})
+}
+
+// ---------------------------------------------------------------------
+// Appendix A.4 — budget sweep: the MLPCT headroom shrinks as the PCT
+// baseline gets more executions per CTI.
+// ---------------------------------------------------------------------
+
+var a4Once sync.Once
+
+func BenchmarkAppendixA4BudgetSweep(b *testing.B) {
+	f := getFixture()
+	budgets := []int{10, 25, 50, 100}
+	gains := make([]float64, len(budgets))
+	for i, budget := range budgets {
+		rows := runPerCTI(f, 25, budget, 1600, uint64(400+budget))
+		gains[i] = rows[1].raceGain // MLPCT-S1 vs PCT
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runPerCTI(f, 2, 10, 100, uint64(500+i))
+	}
+	b.ReportMetric(gains[0]-gains[len(gains)-1], "headroom-drop%")
+
+	printOnce(&a4Once, func() {
+		fmt.Println("\n=== Appendix A.4: MLPCT-S1 race gain vs execution budget (paper: gain shrinks toward saturation) ===")
+		for i, budget := range budgets {
+			fmt.Printf("budget %4d: S1 race gain %+6.1f%%\n", budget, gains[i])
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// Appendix A.6 — analytic rejection-filter model.
+// ---------------------------------------------------------------------
+
+var a6Once sync.Once
+
+func BenchmarkAppendixA6FilterModel(b *testing.B) {
+	f := getFixture()
+	// Use the measured validation operating point of PIC-5.
+	rep := f.pic5.ValidReport
+	rho := f.posURBRate
+	// FPR from precision/recall/rho: FPR = rho·R·(1-P)/(P·(1-rho)).
+	fpr := 0.0
+	if rep.Precision > 0 {
+		fpr = rho * rep.Recall * (1 - rep.Precision) / (rep.Precision * (1 - rho))
+	}
+	filter := campaign.FilterModel{Rho: rho, Recall: rep.Recall, FPR: fpr}
+	noFilter := campaign.FilterModel{Rho: rho, Recall: 1, FPR: 1}
+	cost := campaign.PaperCosts()
+
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s = filter.SecondsPerFruitful(cost)
+	}
+	_ = s
+	speedup := noFilter.SecondsPerFruitful(campaign.CostModel{ExecSeconds: cost.ExecSeconds}) /
+		filter.SecondsPerFruitful(cost)
+	b.ReportMetric(speedup, "speedup")
+
+	printOnce(&a6Once, func() {
+		fmt.Println("\n=== Appendix A.6: analytic filter model (paper: imperfect filters still save most wasted executions) ===")
+		fmt.Printf("operating point: rho=%.3f recall=%.2f FPR=%.3f\n", rho, rep.Recall, fpr)
+		fmt.Printf("no filter : %6.1f s per fruitful test (%.1f executions)\n",
+			noFilter.SecondsPerFruitful(campaign.CostModel{ExecSeconds: cost.ExecSeconds}), noFilter.ExecsPerFruitful())
+		fmt.Printf("PIC filter: %6.1f s per fruitful test (%.1f executions, %.1f candidates scored/exec)\n",
+			filter.SecondsPerFruitful(cost), filter.ExecsPerFruitful(), filter.CandidatesPerExec())
+		fmt.Printf("end-to-end speedup: %.1fx\n", speedup)
+	})
+}
+
+// silence unused-import lint in case of future edits
+var _ = kernel.Kernel{}
+
+// ---------------------------------------------------------------------
+// Appendix A.2 — hyperparameter exploration: the paper's observation that
+// deeper GNN stacks predict better because concurrent behaviour needs
+// broader control/data-flow context.
+// ---------------------------------------------------------------------
+
+var (
+	a2Once  sync.Once
+	a2Mu    sync.Mutex
+	a2Cache []pic.SweepResult
+)
+
+func a2Results() []pic.SweepResult {
+	a2Mu.Lock()
+	defer a2Mu.Unlock()
+	if a2Cache == nil {
+		f := getFixture()
+		// A reduced §A.2 sweep over the depth axis on a subset of the
+		// v5.12 training data.
+		train := f.evalExamples[:len(f.evalExamples)/2]
+		valid := f.validExamples
+		base := benchModelCfg(900)
+		base.Epochs = 2
+		res, err := pic.Sweep(pic.DepthSweep(base, 1, 2, 3, 4), train, valid, f.pic5.TC, 1)
+		if err != nil {
+			panic(err)
+		}
+		a2Cache = res
+	}
+	return a2Cache
+}
+
+func BenchmarkAppendixA2HyperparamSweep(b *testing.B) {
+	res := a2Results()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a2Results()
+	}
+	best := res[0]
+	b.ReportMetric(float64(best.Cfg.Layers), "best-depth")
+	b.ReportMetric(best.AP, "best-AP")
+
+	printOnce(&a2Once, func() {
+		fmt.Println("\n=== Appendix A.2: depth sweep (paper: deeper GNN modules achieve higher performance) ===")
+		byDepth := append([]pic.SweepResult(nil), res...)
+		sort.Slice(byDepth, func(i, j int) bool { return byDepth[i].Cfg.Layers < byDepth[j].Cfg.Layers })
+		for _, r := range byDepth {
+			fmt.Printf("  %s\n", r)
+		}
+		fmt.Printf("winner: %d layers\n", best.Cfg.Layers)
+	})
+}

@@ -1,0 +1,7 @@
+// Package snowcat is a from-scratch Go reproduction of "Snowcat: Efficient
+// Kernel Concurrency Testing using a Learned Coverage Predictor" (SOSP
+// 2023). The root package carries the benchmark harness that regenerates
+// every table and figure of the paper's evaluation; the implementation
+// lives under internal/ (see DESIGN.md for the module map) and the
+// runnable entry points under cmd/ and examples/.
+package snowcat

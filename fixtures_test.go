@@ -1,0 +1,148 @@
+package snowcat_test
+
+import (
+	"fmt"
+	"sync"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/dataset"
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+)
+
+// The benchmark fixture reproduces the paper's experimental setup at
+// laptop scale: a "v5.12" kernel with a PIC-5 model trained on it, plus
+// "v5.13" (small delta) and "v6.1" (large delta) kernels with the Table 2
+// model variants. Everything is built once and shared across benchmarks.
+//
+// Simulated start-up charges keep the paper's ratios: PIC-5's 240 h of
+// data collection + training scales to our dataset sizes as documented in
+// EXPERIMENTS.md.
+type fixtureT struct {
+	k512, k513, k61 *kernel.Kernel
+
+	pic5 *campaign.TrainedModel // trained from scratch on v5.12
+
+	// Table 2 variants for v6.1.
+	pic5on61   *campaign.TrainedModel // PIC-5 applied unchanged to v6.1
+	pic6ftSml  *campaign.TrainedModel
+	pic6ftMed  *campaign.TrainedModel
+	pic6scrSml *campaign.TrainedModel
+	pic6scrMed *campaign.TrainedModel
+
+	// Figure 5f variants for v5.13.
+	pic5on513   *campaign.TrainedModel
+	pic513ftSml *campaign.TrainedModel
+
+	// The evaluation split of the v5.12 dataset (Table 1).
+	evalExamples  []*pic.Example
+	validExamples []*pic.Example
+	posURBRate    float64
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixtureT
+)
+
+// benchModelCfg is the PIC-5-equivalent hyperparameter set at bench scale.
+func benchModelCfg(seed uint64) pic.Config {
+	return pic.Config{Dim: 16, Layers: 3, LR: 3e-3, Epochs: 4, Seed: seed, PosWeight: 8}
+}
+
+// Start-up hour charges, scaled from the paper's §5.3.2/Table 2 costs.
+// The paper charges 240 h for PIC-5's data collection + training against
+// campaigns that run for ~300 simulated hours; our campaigns run for ~1.9
+// simulated hours (120 CTIs × 20 executions × 2.8 s), a 160× scale factor.
+// Charging the paper's hours verbatim would bury every curve under the
+// start-up cost, so the same ratio is preserved at our scale:
+// 240/160 = 1.5 h full training, with small/medium fine-tuning charges in
+// the paper's proportions.
+const (
+	campaignScale = 160.0
+	startupFull   = 240.0 / campaignScale
+	startupSml    = 36.0 / campaignScale
+	startupMed    = 90.0 / campaignScale
+)
+
+func getFixture() *fixtureT {
+	fixOnce.Do(func() {
+		fix = buildFixture()
+	})
+	return fix
+}
+
+func buildFixture() *fixtureT {
+	f := &fixtureT{}
+	base := kernel.SmallConfig(101)
+	base.Version = "v5.12"
+	base.NumBugs = 6 // Table 4 evaluates six known races (A–F)
+	f.k512 = kernel.Generate(base)
+	// v5.13: released two months after 5.12 — a small delta.
+	cfg513 := kernel.Mutate(base, "v5.13", 102, 0.08, 1, 0)
+	f.k513 = kernel.Generate(cfg513)
+	// v6.1: ~18 months of churn — a large delta with new bugs.
+	cfg61 := kernel.Mutate(base, "v6.1", 103, 0.40, 6, 3)
+	f.k61 = kernel.Generate(cfg61)
+
+	// PIC-5: the full §5.1 pipeline on v5.12. The dataset split follows
+	// §5.1.1's unusual proportions (long evaluation period).
+	col := dataset.NewCollector(f.k512, 104)
+	ds, err := col.Collect(dataset.Config{Seed: 105, NumCTIs: 60, InterleavingsPerCTI: 20})
+	if err != nil {
+		panic(err)
+	}
+	f.posURBRate = ds.PositiveURBRate()
+	train, valid, eval := ds.SplitByCTI(0.55, 0.08, 106)
+	f.evalExamples = eval.Flatten()
+	f.validExamples = valid.Flatten()
+
+	m := pic.New(benchModelCfg(107))
+	tc := pic.NewTokenCache(f.k512, m.Vocab)
+	m.Pretrain(tc, 2, 108)
+	if _, err := m.Train(train.Flatten(), tc); err != nil {
+		panic(err)
+	}
+	m.Tune(valid.Flatten(), tc)
+	f.pic5 = &campaign.TrainedModel{
+		Name: "PIC-5", Model: m, TC: tc, StartupHours: startupFull,
+		ValidReport: pic.EvaluateScorer(m.AsScorer(tc), valid.Flatten(), m.Threshold, pic.URBOnly),
+	}
+
+	// Table 2 variants on v6.1.
+	f.pic5on61 = campaign.Rebind(f.pic5, f.k61, "PIC-5")
+	small := dataset.Config{Seed: 110, NumCTIs: 12, InterleavingsPerCTI: 6}
+	medium := dataset.Config{Seed: 111, NumCTIs: 30, InterleavingsPerCTI: 6}
+
+	f.pic6ftSml = mustFT(f.pic5, f.k61, "PIC-6.ft.sml", small, 1, startupSml)
+	f.pic6ftMed = mustFT(f.pic5, f.k61, "PIC-6.ft.med", medium, 2, startupMed)
+	f.pic6scrSml = mustTrain(f.k61, "PIC-6.scr.sml", small, 112, startupSml)
+	f.pic6scrMed = mustTrain(f.k61, "PIC-6.scr.med", medium, 113, startupMed)
+
+	// Figure 5f variants on v5.13.
+	f.pic5on513 = campaign.Rebind(f.pic5, f.k513, "PIC-5")
+	f.pic513ftSml = mustFT(f.pic5, f.k513, "PIC-5.13.ft.sml",
+		dataset.Config{Seed: 114, NumCTIs: 12, InterleavingsPerCTI: 6}, 1, startupSml)
+	return f
+}
+
+func mustFT(base *campaign.TrainedModel, k *kernel.Kernel, name string, data dataset.Config, epochs int, hours float64) *campaign.TrainedModel {
+	tm, err := campaign.FineTune(base, k, campaign.TrainOptions{
+		Name: name, Data: data, StartupHours: hours,
+	}, epochs)
+	if err != nil {
+		panic(fmt.Sprintf("fine-tuning %s: %v", name, err))
+	}
+	return tm
+}
+
+func mustTrain(k *kernel.Kernel, name string, data dataset.Config, seed uint64, hours float64) *campaign.TrainedModel {
+	tm, err := campaign.Train(k, campaign.TrainOptions{
+		Name: name, Model: benchModelCfg(seed), Data: data,
+		PretrainEpochs: 1, StartupHours: hours,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("training %s: %v", name, err))
+	}
+	return tm
+}

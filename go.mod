@@ -1,0 +1,3 @@
+module snowcat
+
+go 1.22

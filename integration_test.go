@@ -1,0 +1,129 @@
+// End-to-end integration test: one pass through the whole Snowcat
+// pipeline at miniature scale, asserting the cross-module contracts the
+// unit tests cannot see. This is the workflow of Figure 2b: sequential
+// fuzzing → dataset collection → model training → predicted-coverage-
+// guided concurrency testing → race detection and bug discovery.
+package snowcat_test
+
+import (
+	"testing"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/dataset"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/pic"
+	"snowcat/internal/razzer"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	k := kernel.Generate(kernel.SmallConfig(901))
+
+	// Stage 1: sequential fuzzing accumulates coverage and a corpus.
+	fz := syz.NewFuzzer(k, 902)
+	if _, err := fz.Campaign(150); err != nil {
+		t.Fatal(err)
+	}
+	if fz.CorpusSize() == 0 {
+		t.Fatal("fuzzing produced no corpus")
+	}
+
+	// Stage 2: train a PIC via the full pipeline, exercising the cached
+	// dataset path.
+	col := dataset.NewCollector(k, 903)
+	ds, err := col.Collect(dataset.Config{Seed: 904, NumCTIs: 16, InterleavingsPerCTI: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := campaign.Train(k, campaign.TrainOptions{
+		Name:           "PIC",
+		Model:          pic.Config{Dim: 12, Layers: 2, LR: 3e-3, Epochs: 2, Seed: 905, PosWeight: 8},
+		Dataset:        ds,
+		PretrainEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Model.Threshold <= 0 || tm.Model.Threshold >= 1 {
+		t.Fatalf("untuned threshold %v", tm.Model.Threshold)
+	}
+
+	// Stage 3: the §6 extension head trains on the same dataset.
+	if _, err := tm.Model.TrainDF(pic.AsFlowExamples(ds.Flatten()), tm.TC, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 4: model-guided campaign vs PCT on the same stream.
+	r := campaign.NewRunner(k)
+	opts := mlpct.Options{ExecBudget: 6, InferenceCap: 90}
+	pct, err := r.Run(campaign.Config{
+		Name: "PCT", Seed: 906, NumCTIs: 10, Opts: opts, Cost: campaign.PaperCosts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := r.Run(campaign.Config{
+		Name: "MLPCT", Seed: 906, NumCTIs: 10, Opts: opts,
+		Cost: campaign.PaperCosts(),
+		Pred: tm.Predictor(), Strat: strategy.NewS1(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct.FinalRaces == 0 {
+		t.Fatal("PCT campaign found no races")
+	}
+	if ml.TotalExecs > pct.TotalExecs {
+		t.Fatal("MLPCT executed more than PCT at the same budget")
+	}
+	if ml.TotalInfers == 0 {
+		t.Fatal("MLPCT performed no inferences")
+	}
+
+	// Stage 5: the model plugs into Razzer for a planted race.
+	target, err := razzer.RaceFromBug(k, k.Bugs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := razzer.BuildPool(k, []int32{k.Bugs[0].ReaderSyscall, k.Bugs[0].WriterSyscall}, 12, 6, 907)
+	finder, err := razzer.NewFinder(k, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := finder.FindCTIs(target, razzer.Conservative, nil, 908)
+	if len(cons) != 0 {
+		t.Fatalf("conservative Razzer found %d candidates for a gated race", len(cons))
+	}
+	relax := finder.FindCTIs(target, razzer.Relax, nil, 908)
+	picd := finder.FindCTIs(target, razzer.PICFiltered, tm.Predictor(), 908)
+	if len(relax) == 0 {
+		t.Fatal("relaxed Razzer found nothing")
+	}
+	if len(picd) > len(relax) {
+		t.Fatal("PIC filter enlarged the candidate set")
+	}
+
+	// Stage 6: model round-trips through serialisation and keeps working.
+	data, err := tm.Model.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pic.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc2 := pic.NewTokenCache(k, m2.Vocab)
+	ex := ds.Flatten()[0]
+	p1 := tm.Model.Predict(ex.G, tm.TC)
+	p2 := m2.Predict(ex.G, tc2)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("serialised model diverges")
+		}
+	}
+}

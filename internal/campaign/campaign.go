@@ -1,0 +1,230 @@
+// Package campaign runs end-to-end testing campaigns: a stream of CTIs is
+// explored — by plain PCT or model-guided MLPCT — while cumulative
+// data-race coverage is tracked against a simulated wall clock charged
+// with the paper's cost constants (§5.2.2: 2.8 s per dynamic execution,
+// 0.015 s per model inference; §5.3.2: model start-up cost in hours).
+// This reproduces the Figure 5 family: coverage-versus-hours histories for
+// different explorers, kernels, and model variants.
+package campaign
+
+import (
+	"fmt"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/predictor"
+	"snowcat/internal/race"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+// CostModel converts campaign events into simulated wall-clock seconds.
+type CostModel struct {
+	ExecSeconds  float64 // one dynamic execution (paper: 2.8)
+	InferSeconds float64 // one model inference (paper: 0.015)
+	StartupHours float64 // data collection + training charged up front
+}
+
+// PaperCosts returns the §5.2.2 constants with no start-up charge.
+func PaperCosts() CostModel {
+	return CostModel{ExecSeconds: 2.8, InferSeconds: 0.015}
+}
+
+// WithStartup returns the cost model with a training start-up charge, e.g.
+// 240 h for PIC-5 (§5.3.2) or the smaller fine-tuning charges of Table 2.
+func (c CostModel) WithStartup(hours float64) CostModel {
+	c.StartupHours = hours
+	return c
+}
+
+// Point is one sample of a campaign history.
+type Point struct {
+	Hours  float64 // simulated hours including start-up
+	Races  int     // cumulative unique potential data races
+	Blocks int     // cumulative schedule-dependent block coverage
+}
+
+// History is the outcome of one campaign run.
+type History struct {
+	Name        string
+	Points      []Point
+	TotalExecs  int
+	TotalInfers int
+	CTIs        int
+	BugsFound   map[int32]bool // planted bugs triggered
+	FinalRaces  int
+	FinalBlocks int
+}
+
+// HoursToReach returns the first simulated time at which the history
+// reaches the given race count, or -1 if it never does. This is the §5.3.2
+// comparison ("SKI took 304 hours to reach 3,500 unique races; S1 took
+// 155").
+func (h *History) HoursToReach(races int) float64 {
+	for _, p := range h.Points {
+		if p.Races >= races {
+			return p.Hours
+		}
+	}
+	return -1
+}
+
+// RacesAtHour returns the cumulative races at the given simulated time
+// (the largest sample not after it), 0 before the first sample.
+func (h *History) RacesAtHour(hours float64) int {
+	races := 0
+	for _, p := range h.Points {
+		if p.Hours > hours {
+			break
+		}
+		races = p.Races
+	}
+	return races
+}
+
+// Config describes one campaign.
+type Config struct {
+	Name    string
+	Seed    uint64
+	NumCTIs int
+	Opts    mlpct.Options
+	Cost    CostModel
+	// Pred non-nil selects MLPCT with the given predictor and strategy;
+	// nil runs plain PCT.
+	Pred  predictor.Predictor
+	Strat strategy.Strategy
+}
+
+// Runner executes campaigns over one kernel. The CTI stream is derived
+// from the seed, so two campaigns with the same seed see the same stream —
+// the paper's "same CTI stream" comparisons (§5.4).
+type Runner struct {
+	K       *kernel.Kernel
+	Builder *ctgraph.Builder
+}
+
+// NewRunner prepares a campaign runner for kernel k; the CTI stream is
+// seeded separately per Run.
+func NewRunner(k *kernel.Kernel) *Runner {
+	return &Runner{K: k, Builder: ctgraph.NewBuilder(k, cfg.Build(k))}
+}
+
+// Run executes one campaign and returns its history.
+func (r *Runner) Run(c Config) (*History, error) {
+	if c.NumCTIs <= 0 {
+		return nil, fmt.Errorf("campaign: NumCTIs must be positive")
+	}
+	gen := syz.NewGenerator(r.K, c.Seed)
+	exp := mlpct.NewExplorer(r.K, r.Builder, c.Opts)
+	rng := xrand.New(c.Seed ^ 0x5eed)
+
+	hist := &History{Name: c.Name, BugsFound: make(map[int32]bool)}
+	races := race.NewSet()
+	blocks := make(map[int32]bool)
+	clock := c.Cost.StartupHours * 3600 // simulated seconds
+
+	for i := 0; i < c.NumCTIs; i++ {
+		a, b := gen.Generate(), gen.Generate()
+		cti := ski.CTI{ID: int64(i), A: a, B: b}
+		pa, err := syz.Run(r.K, a)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := syz.Run(r.K, b)
+		if err != nil {
+			return nil, err
+		}
+		var out *mlpct.Outcome
+		if c.Pred != nil {
+			out, err = exp.ExploreMLPCT(cti, pa, pb, rng.Uint64(), c.Pred, c.Strat)
+		} else {
+			out, err = exp.ExplorePCT(cti, pa, pb, rng.Uint64())
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		for _, res := range out.Results {
+			races.Add(race.Detect(res))
+			for id, cov := range res.Covered {
+				if cov && !pa.Covered[id] && !pb.Covered[id] {
+					blocks[int32(id)] = true
+				}
+			}
+		}
+		for _, bug := range out.BugsHit {
+			hist.BugsFound[bug] = true
+		}
+		hist.TotalExecs += len(out.Results)
+		hist.TotalInfers += out.Inferences
+		hist.CTIs++
+
+		clock += float64(len(out.Results))*c.Cost.ExecSeconds +
+			float64(out.Inferences)*c.Cost.InferSeconds
+		hist.Points = append(hist.Points, Point{
+			Hours:  clock / 3600,
+			Races:  races.Size(),
+			Blocks: len(blocks),
+		})
+	}
+	hist.FinalRaces = races.Size()
+	hist.FinalBlocks = len(blocks)
+	return hist, nil
+}
+
+// FilterModel is the §A.6 analytic model of a rejection filter: candidates
+// are fruitful with base rate Rho; the filter accepts fruitful candidates
+// with probability Recall (TPR) and fruitless ones with probability FPR.
+type FilterModel struct {
+	Rho    float64
+	Recall float64
+	FPR    float64
+}
+
+// AcceptRate is the probability a random candidate is accepted.
+func (f FilterModel) AcceptRate() float64 {
+	return f.Rho*f.Recall + (1-f.Rho)*f.FPR
+}
+
+// PrecisionAmongAccepted is the fraction of accepted candidates that are
+// fruitful.
+func (f FilterModel) PrecisionAmongAccepted() float64 {
+	a := f.AcceptRate()
+	if a == 0 {
+		return 0
+	}
+	return f.Rho * f.Recall / a
+}
+
+// ExecsPerFruitful is the expected number of dynamic executions until one
+// fruitful test is executed (∞ degenerates to a large number when the
+// filter accepts no fruitful tests).
+func (f FilterModel) ExecsPerFruitful() float64 {
+	p := f.PrecisionAmongAccepted()
+	if p == 0 {
+		return 1e18
+	}
+	return 1 / p
+}
+
+// CandidatesPerExec is the expected number of candidates scored per
+// accepted (executed) test.
+func (f FilterModel) CandidatesPerExec() float64 {
+	a := f.AcceptRate()
+	if a == 0 {
+		return 1e18
+	}
+	return 1 / a
+}
+
+// SecondsPerFruitful combines the cost model with the filter: expected
+// simulated seconds of inference plus execution per fruitful test found.
+// A no-filter baseline is FilterModel{Rho: rho, Recall: 1, FPR: 1} with
+// InferSeconds zeroed by the caller.
+func (f FilterModel) SecondsPerFruitful(cost CostModel) float64 {
+	return f.ExecsPerFruitful() * (cost.ExecSeconds + f.CandidatesPerExec()*cost.InferSeconds)
+}

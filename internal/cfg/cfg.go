@@ -1,0 +1,146 @@
+// Package cfg builds the whole-kernel static control-flow graph.
+//
+// The paper uses Angr to build a CFG of the compiled Linux kernel; because
+// this reproduction's kernel is fully analysable, the CFG here is exact.
+// Its role is the same: identify uncovered reachable blocks (URBs) — blocks
+// within a small number of static control-flow hops of the blocks a test
+// covered sequentially, but not themselves covered (§3, §3.1). Those URBs,
+// and the edges leading to them, become vertices and URB-control-flow edges
+// of the CT graph.
+package cfg
+
+import (
+	"snowcat/internal/kernel"
+)
+
+// Graph is the static CFG: one node per basic block.
+type Graph struct {
+	K     *kernel.Kernel
+	Succs [][]int32
+	Preds [][]int32
+}
+
+// Build constructs the CFG of k. Call edges contribute both the callee's
+// entry block and the caller's fallthrough (the post-return continuation),
+// so reachability through calls is interprocedural.
+func Build(k *kernel.Kernel) *Graph {
+	n := k.NumBlocks()
+	g := &Graph{
+		K:     k,
+		Succs: make([][]int32, n),
+		Preds: make([][]int32, n),
+	}
+	var buf []int32
+	for id := 0; id < n; id++ {
+		buf = k.Successors(int32(id), buf[:0])
+		if len(buf) > 0 {
+			g.Succs[id] = append([]int32(nil), buf...)
+		}
+	}
+	for from, succs := range g.Succs {
+		for _, to := range succs {
+			g.Preds[to] = append(g.Preds[to], int32(from))
+		}
+	}
+	return g
+}
+
+// Edge is a directed control-flow edge between blocks.
+type Edge struct {
+	From, To int32
+}
+
+// URBResult reports the uncovered reachable blocks of a coverage set and
+// the static edges that reach them.
+type URBResult struct {
+	URBs []int32 // uncovered reachable blocks, ascending block ID
+	// Edges lead into URBs: for 1-hop URBs the source is a covered block;
+	// for multi-hop expansion the source may itself be a URB of a smaller
+	// hop count.
+	Edges []Edge
+}
+
+// FindURBs identifies blocks reachable within hops static control-flow
+// steps from the covered set but not covered. covered must have length
+// K.NumBlocks(). hops=1 reproduces the paper's configuration (§3.1); the
+// multi-hop variant exists for the §6 extension study.
+func (g *Graph) FindURBs(covered []bool, hops int) URBResult {
+	var res URBResult
+	n := len(g.Succs)
+	dist := make([]int, n) // 0 = not a URB (yet); k = found at hop k
+	frontier := make([]int32, 0, 64)
+	for id := 0; id < n; id++ {
+		if covered[id] {
+			frontier = append(frontier, int32(id))
+		}
+	}
+	for hop := 1; hop <= hops; hop++ {
+		var next []int32
+		for _, from := range frontier {
+			for _, to := range g.Succs[from] {
+				if covered[to] {
+					continue
+				}
+				if dist[to] == 0 {
+					dist[to] = hop
+					res.URBs = append(res.URBs, to)
+					next = append(next, to)
+				}
+				// Record the edge whenever it connects the previous
+				// frontier to a URB of this hop (avoids duplicate edges
+				// from deeper hops re-reaching shallow URBs).
+				if dist[to] == hop {
+					res.Edges = append(res.Edges, Edge{From: from, To: to})
+				}
+			}
+		}
+		frontier = next
+	}
+	sortBlocks(res.URBs)
+	return res
+}
+
+// ReachableFrom computes the interprocedural reachable-block set from the
+// entry block, following all static edges.
+func (g *Graph) ReachableFrom(entry int32) []bool {
+	n := len(g.Succs)
+	seen := make([]bool, n)
+	if entry < 0 || int(entry) >= n {
+		return seen
+	}
+	stack := []int32{entry}
+	seen[entry] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range g.Succs[cur] {
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return seen
+}
+
+// SyscallReach returns, for every syscall, its statically reachable block
+// set. Used by the Razzer substrate to find syscalls that can reach a
+// racing instruction.
+func (g *Graph) SyscallReach() [][]bool {
+	out := make([][]bool, len(g.K.Syscalls))
+	for i, sc := range g.K.Syscalls {
+		fn := g.K.Func(sc.Fn)
+		out[i] = g.ReachableFrom(fn.Blocks[0])
+	}
+	return out
+}
+
+// sortBlocks sorts a small slice of block IDs ascending (insertion sort:
+// URB lists are short and this avoids pulling in package sort here).
+func sortBlocks(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

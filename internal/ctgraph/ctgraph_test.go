@@ -1,0 +1,335 @@
+package ctgraph
+
+import (
+	"testing"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/kernel"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+type fix struct {
+	k *kernel.Kernel
+	b *Builder
+	g *syz.Generator
+}
+
+func newFix(t *testing.T, seed uint64) *fix {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(seed))
+	return &fix{k: k, b: NewBuilder(k, cfg.Build(k)), g: syz.NewGenerator(k, seed+99)}
+}
+
+func (f *fix) ct(t *testing.T, seed uint64) (ski.CTI, *syz.Profile, *syz.Profile, ski.Schedule) {
+	t.Helper()
+	a, b := f.g.Generate(), f.g.Generate()
+	pa, err := syz.Run(f.k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(f.k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cti := ski.CTI{ID: int64(seed), A: a, B: b}
+	s := ski.NewSampler(pa, pb, seed)
+	return cti, pa, pb, s.Next()
+}
+
+func TestBuildBasicShape(t *testing.T) {
+	f := newFix(t, 1)
+	cti, pa, pb, sched := f.ct(t, 1)
+	g := f.b.Build(cti, pa, pb, sched)
+
+	if len(g.Vertices) == 0 || len(g.Edges) == 0 {
+		t.Fatalf("empty graph: %s", g.Stats())
+	}
+	if g.NumSCB() == 0 {
+		t.Fatal("no SCB vertices")
+	}
+	if g.NumSCB()+g.NumURB() != len(g.Vertices) {
+		t.Fatal("vertex type counts inconsistent")
+	}
+	// Every sequentially covered block must be an SCB vertex.
+	for id := range pa.Covered {
+		if pa.Covered[id] || pb.Covered[id] {
+			vi := g.VertexOf(int32(id))
+			if vi < 0 || g.Vertices[vi].Type != SCB {
+				t.Fatalf("covered block %d missing or mistyped", id)
+			}
+		}
+	}
+	// URB vertices must not be sequentially covered.
+	for _, v := range g.Vertices {
+		if v.Type == URB && (pa.Covered[v.Block] || pb.Covered[v.Block]) {
+			t.Fatalf("URB vertex %d is sequentially covered", v.Block)
+		}
+	}
+}
+
+func TestEdgeIndicesValid(t *testing.T) {
+	f := newFix(t, 3)
+	for i := 0; i < 10; i++ {
+		cti, pa, pb, sched := f.ct(t, uint64(i))
+		g := f.b.Build(cti, pa, pb, sched)
+		for _, e := range g.Edges {
+			if e.From < 0 || int(e.From) >= len(g.Vertices) ||
+				e.To < 0 || int(e.To) >= len(g.Vertices) {
+				t.Fatalf("edge %+v out of range (V=%d)", e, len(g.Vertices))
+			}
+		}
+	}
+}
+
+func TestURBFlowEdgesTargetURBs(t *testing.T) {
+	f := newFix(t, 5)
+	cti, pa, pb, sched := f.ct(t, 5)
+	g := f.b.Build(cti, pa, pb, sched)
+	for _, e := range g.Edges {
+		if e.Type == URBFlow {
+			if g.Vertices[e.To].Type != URB {
+				t.Fatalf("URBFlow edge targets %v", g.Vertices[e.To])
+			}
+		}
+		if e.Type == SCBFlow {
+			if g.Vertices[e.From].Type != SCB || g.Vertices[e.To].Type != SCB {
+				t.Fatal("SCBFlow edge touches URB")
+			}
+		}
+	}
+}
+
+func TestHintEdges(t *testing.T) {
+	f := newFix(t, 7)
+	cti, pa, pb, sched := f.ct(t, 7)
+	g := f.b.Build(cti, pa, pb, sched)
+	if n := g.EdgeCount(Hint); n == 0 || n > 2 {
+		t.Fatalf("hint edges = %d, want 1..2 for a two-hint schedule", n)
+	}
+	// First hint edge: from the block of hint 0 to thread B's entry.
+	h0 := g.VertexOf(sched.Hints[0].Ref.Block)
+	bEntry := g.VertexOf(pb.BlockTrace[0])
+	found := false
+	for _, e := range g.Edges {
+		if e.Type == Hint && e.From == h0 && e.To == bEntry {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("first hint edge missing")
+	}
+}
+
+func TestNoDuplicateEdges(t *testing.T) {
+	f := newFix(t, 9)
+	cti, pa, pb, sched := f.ct(t, 9)
+	g := f.b.Build(cti, pa, pb, sched)
+	seen := map[Edge]bool{}
+	for _, e := range g.Edges {
+		if seen[e] {
+			t.Fatalf("duplicate edge %+v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	f := newFix(t, 11)
+	cti, pa, pb, sched := f.ct(t, 11)
+	g1 := f.b.Build(cti, pa, pb, sched)
+	g2 := f.b.Build(cti, pa, pb, sched)
+	if len(g1.Vertices) != len(g2.Vertices) || len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("graph sizes differ")
+	}
+	for i := range g1.Vertices {
+		if g1.Vertices[i] != g2.Vertices[i] {
+			t.Fatal("vertex order differs")
+		}
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("edge order differs")
+		}
+	}
+}
+
+func TestShortcutEdgesRespectConfig(t *testing.T) {
+	f := newFix(t, 13)
+	cti, pa, pb, sched := f.ct(t, 13)
+	g := f.b.Build(cti, pa, pb, sched)
+	withShortcuts := g.EdgeCount(Shortcut)
+
+	f.b.ShortcutHops = 0
+	g2 := f.b.Build(cti, pa, pb, sched)
+	if g2.EdgeCount(Shortcut) != 0 {
+		t.Fatal("shortcuts present despite being disabled")
+	}
+	if withShortcuts == 0 && len(pa.BlockTrace) > 4 {
+		t.Fatal("no shortcut edges despite long trace")
+	}
+}
+
+func TestInterDFEdgesCrossThreads(t *testing.T) {
+	// Build many CTs; at least one must have inter-thread data-flow edges
+	// (shared affinity globals make this overwhelmingly likely).
+	f := newFix(t, 15)
+	total := 0
+	for i := 0; i < 15; i++ {
+		cti, pa, pb, sched := f.ct(t, uint64(i))
+		g := f.b.Build(cti, pa, pb, sched)
+		total += g.EdgeCount(InterDF)
+	}
+	if total == 0 {
+		t.Fatal("no inter-thread data-flow edges across 15 CTs")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	f := newFix(t, 17)
+	cti, pa, pb, sched := f.ct(t, 17)
+	g := f.b.Build(cti, pa, pb, sched)
+	res, err := ski.Execute(f.k, cti, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := Labels(g, res)
+	if len(y) != len(g.Vertices) {
+		t.Fatalf("labels = %d, vertices = %d", len(y), len(g.Vertices))
+	}
+	pos := 0
+	for i, v := range g.Vertices {
+		if y[i] != res.Covered[v.Block] {
+			t.Fatalf("label %d mismatches coverage", i)
+		}
+		if y[i] {
+			pos++
+		}
+	}
+	if pos == 0 {
+		t.Fatal("no positive labels; concurrent execution covered nothing?")
+	}
+}
+
+func TestSomeURBsGetCovered(t *testing.T) {
+	// Across CTs and schedules, some URB must flip to covered under the
+	// concurrent execution — the signal the predictor learns.
+	f := newFix(t, 19)
+	flips := 0
+	for i := 0; i < 30; i++ {
+		cti, pa, pb, sched := f.ct(t, uint64(100+i))
+		g := f.b.Build(cti, pa, pb, sched)
+		res, err := ski.Execute(f.k, cti, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := Labels(g, res)
+		for i, v := range g.Vertices {
+			if v.Type == URB && y[i] {
+				flips++
+			}
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no URB ever covered concurrently; learning task is degenerate")
+	}
+}
+
+func TestVertexOfMissing(t *testing.T) {
+	f := newFix(t, 21)
+	cti, pa, pb, sched := f.ct(t, 21)
+	g := f.b.Build(cti, pa, pb, sched)
+	if g.VertexOf(-1) != -1 {
+		t.Fatal("missing block should map to -1")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if SCB.String() != "SCB" || URB.String() != "URB" {
+		t.Fatal("vertex type strings")
+	}
+	names := map[EdgeType]string{
+		SCBFlow: "scb-flow", URBFlow: "urb-flow", IntraDF: "intra-df",
+		InterDF: "inter-df", Hint: "hint", Shortcut: "shortcut", IRQEdge: "irq",
+	}
+	for et, want := range names {
+		if et.String() != want {
+			t.Errorf("%d.String() = %q", et, et.String())
+		}
+	}
+	if EdgeType(99).String() != "unknown" {
+		t.Error("unknown edge type")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	f := newFix(t, 23)
+	cti, pa, pb, sched := f.ct(t, 23)
+	g := f.b.Build(cti, pa, pb, sched)
+	if g.Stats() == "" {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestHintFracRecorded(t *testing.T) {
+	f := newFix(t, 25)
+	cti, pa, pb, sched := f.ct(t, 25)
+	g := f.b.Build(cti, pa, pb, sched)
+	if len(g.HintFrac) != len(sched.Hints) {
+		t.Fatalf("HintFrac = %d entries, want %d", len(g.HintFrac), len(sched.Hints))
+	}
+	for i, frac := range g.HintFrac {
+		if frac < 0 || frac >= 1 {
+			t.Fatalf("hint %d frac %v out of [0,1)", i, frac)
+		}
+		// The recorded fraction must point at the hint instruction in the
+		// owning thread's trace.
+		p := pa
+		if sched.Hints[i].Thread == 1 {
+			p = pb
+		}
+		pos := int(frac * float64(len(p.InstrTrace)))
+		if p.InstrTrace[pos] != sched.Hints[i].Ref {
+			t.Fatalf("hint %d frac %v does not locate the hint instruction", i, frac)
+		}
+	}
+}
+
+func TestHintFracUnencounteredIsNegative(t *testing.T) {
+	f := newFix(t, 27)
+	cti, pa, pb, _ := f.ct(t, 27)
+	// A hint referencing an instruction absent from thread 0's trace.
+	ghost := ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: pb.InstrTrace[len(pb.InstrTrace)-1]}}}
+	inA := map[[2]int32]bool{}
+	for _, r := range pa.InstrTrace {
+		inA[[2]int32{r.Block, r.Idx}] = true
+	}
+	if inA[[2]int32{ghost.Hints[0].Ref.Block, ghost.Hints[0].Ref.Idx}] {
+		t.Skip("traces overlap at the probe instruction")
+	}
+	g := f.b.Build(cti, pa, pb, ghost)
+	if g.HintFrac[0] != -1 {
+		t.Fatalf("unencountered hint frac = %v, want -1", g.HintFrac[0])
+	}
+}
+
+func TestWithoutEdgesSuppresses(t *testing.T) {
+	f := newFix(t, 29)
+	cti, pa, pb, sched := f.ct(t, 29)
+	full := f.b.Build(cti, pa, pb, sched)
+	ablated := f.b.WithoutEdges(InterDF, Hint).Build(cti, pa, pb, sched)
+	if ablated.EdgeCount(InterDF) != 0 || ablated.EdgeCount(Hint) != 0 {
+		t.Fatal("disabled edge types present")
+	}
+	if ablated.EdgeCount(SCBFlow) != full.EdgeCount(SCBFlow) {
+		t.Fatal("ablation changed unrelated edge types")
+	}
+	if len(ablated.Vertices) != len(full.Vertices) {
+		t.Fatal("ablation changed the vertex set")
+	}
+	// The original builder must be untouched.
+	again := f.b.Build(cti, pa, pb, sched)
+	if again.EdgeCount(Hint) != full.EdgeCount(Hint) {
+		t.Fatal("WithoutEdges mutated the receiver")
+	}
+}

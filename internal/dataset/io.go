@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Encode serialises the dataset with gob+gzip. Datasets are the expensive
+// artifact of the pipeline — the paper spends hundreds of hours collecting
+// them — so campaigns cache them on disk and reload instead of re-running
+// dynamic executions.
+func (d *Dataset) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(d); err != nil {
+		return nil, fmt.Errorf("dataset: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("dataset: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a dataset serialised by Encode, restoring the
+// graphs' internal indices.
+func Decode(data []byte) (*Dataset, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	var d Dataset
+	if err := gob.NewDecoder(zr).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	for _, g := range d.Groups {
+		for _, ex := range g.Examples {
+			ex.G.Rebind()
+		}
+	}
+	return &d, nil
+}
+
+// SaveFile writes the dataset to path.
+func (d *Dataset) SaveFile(path string) error {
+	data, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a dataset written by SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	return Decode(data)
+}

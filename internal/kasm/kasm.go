@@ -1,0 +1,266 @@
+// Package kasm defines the instruction set of the synthetic kernel used by
+// Snowcat-Go.
+//
+// The real Snowcat operates on x86 assembly of a compiled Linux kernel; this
+// reproduction substitutes a small register machine that preserves the
+// properties the paper's pipeline depends on: programs are sequences of
+// basic blocks of instructions, instructions read and write registers and
+// shared kernel memory, control flow is expressed with compare-and-branch,
+// and synchronisation uses explicit lock/unlock operations. Each instruction
+// renders to text ("load r3, [g]") so the assembly-encoder half of the PIC
+// model has the same kind of input as the paper's BERT-on-assembly module.
+package kasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies an instruction opcode.
+type Op uint8
+
+// Opcodes of the synthetic kernel ISA.
+const (
+	OpNop    Op = iota // no operation
+	OpMovI             // rd = imm
+	OpMov              // rd = rs
+	OpAdd              // rd += rs
+	OpAddI             // rd += imm
+	OpSub              // rd -= rs
+	OpXor              // rd ^= rs
+	OpAnd              // rd &= rs
+	OpLoad             // rd = mem[addr]
+	OpStore            // mem[addr] = rs
+	OpCmp              // flags = compare(rd, rs)
+	OpCmpI             // flags = compare(rd, imm)
+	OpJmp              // unconditional jump (block terminator)
+	OpJeq              // jump if equal (block terminator)
+	OpJne              // jump if not equal (block terminator)
+	OpJlt              // jump if less (block terminator)
+	OpJge              // jump if greater-or-equal (block terminator)
+	OpCall             // call function (block terminator)
+	OpRet              // return from function (block terminator)
+	OpLock             // acquire spinlock
+	OpUnlock           // release spinlock
+	OpBug              // planted bug site: reaching this records a bug event
+)
+
+// NumRegs is the number of general-purpose registers per kernel thread.
+const NumRegs = 8
+
+var opNames = [...]string{
+	OpNop: "nop", OpMovI: "movi", OpMov: "mov", OpAdd: "add", OpAddI: "addi",
+	OpSub: "sub", OpXor: "xor", OpAnd: "and", OpLoad: "load", OpStore: "store",
+	OpCmp: "cmp", OpCmpI: "cmpi", OpJmp: "jmp", OpJeq: "jeq", OpJne: "jne",
+	OpJlt: "jlt", OpJge: "jge", OpCall: "call", OpRet: "ret",
+	OpLock: "lock", OpUnlock: "unlock", OpBug: "bug",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpJmp, OpJeq, OpJne, OpJlt, OpJge, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool {
+	switch o {
+	case OpJeq, OpJne, OpJlt, OpJge:
+		return true
+	}
+	return false
+}
+
+// Instr is a single instruction. Field use depends on Op:
+//
+//	MovI:       Rd, Imm
+//	Mov/Add/...:Rd, Rs
+//	AddI/CmpI:  Rd, Imm
+//	Load:       Rd, Addr
+//	Store:      Addr, Rs
+//	Jmp:        Target
+//	Jeq/...:    Target (taken), fallthrough is the next block in the function
+//	Call:       Callee (function ID)
+//	Lock/Unlock:LockID
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination register
+	Rs     uint8 // source register
+	Imm    int64 // immediate operand
+	Addr   int32 // shared-memory address (globals index)
+	Target int32 // branch target: block ID
+	Callee int32 // call target: function ID
+	LockID int32 // lock identifier
+}
+
+// Reads reports the shared-memory address read by the instruction, or -1.
+func (in *Instr) Reads() int32 {
+	if in.Op == OpLoad {
+		return in.Addr
+	}
+	return -1
+}
+
+// Writes reports the shared-memory address written by the instruction, or -1.
+func (in *Instr) Writes() int32 {
+	if in.Op == OpStore {
+		return in.Addr
+	}
+	return -1
+}
+
+// String renders the instruction as assembly text with concrete operands.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpMovI:
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", in.Rd, in.Rs)
+	case OpAdd:
+		return fmt.Sprintf("add r%d, r%d", in.Rd, in.Rs)
+	case OpAddI:
+		return fmt.Sprintf("addi r%d, %d", in.Rd, in.Imm)
+	case OpSub:
+		return fmt.Sprintf("sub r%d, r%d", in.Rd, in.Rs)
+	case OpXor:
+		return fmt.Sprintf("xor r%d, r%d", in.Rd, in.Rs)
+	case OpAnd:
+		return fmt.Sprintf("and r%d, r%d", in.Rd, in.Rs)
+	case OpLoad:
+		return fmt.Sprintf("load r%d, [g%d]", in.Rd, in.Addr)
+	case OpStore:
+		return fmt.Sprintf("store [g%d], r%d", in.Addr, in.Rs)
+	case OpCmp:
+		return fmt.Sprintf("cmp r%d, r%d", in.Rd, in.Rs)
+	case OpCmpI:
+		return fmt.Sprintf("cmpi r%d, %d", in.Rd, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp b%d", in.Target)
+	case OpJeq:
+		return fmt.Sprintf("jeq b%d", in.Target)
+	case OpJne:
+		return fmt.Sprintf("jne b%d", in.Target)
+	case OpJlt:
+		return fmt.Sprintf("jlt b%d", in.Target)
+	case OpJge:
+		return fmt.Sprintf("jge b%d", in.Target)
+	case OpCall:
+		return fmt.Sprintf("call f%d", in.Callee)
+	case OpRet:
+		return "ret"
+	case OpLock:
+		return fmt.Sprintf("lock l%d", in.LockID)
+	case OpUnlock:
+		return fmt.Sprintf("unlock l%d", in.LockID)
+	case OpBug:
+		return fmt.Sprintf("bug %d", in.Imm)
+	}
+	return fmt.Sprintf("op%d", in.Op)
+}
+
+// Tokens renders the instruction as a token sequence for the assembly
+// encoder. Following the paper (§3.2), numeric operands — immediates,
+// memory offsets, block/function IDs — are elided, since their semantics
+// are captured by other graph features; registers and lock identifiers are
+// kept coarse ("r", "l") so the encoder learns opcode/operand-shape
+// semantics rather than memorising addresses.
+func (in *Instr) Tokens() []string {
+	switch in.Op {
+	case OpNop, OpRet:
+		return []string{in.Op.String()}
+	case OpMovI, OpAddI, OpCmpI, OpBug:
+		return []string{in.Op.String(), reg(in.Rd), "imm"}
+	case OpMov, OpAdd, OpSub, OpXor, OpAnd, OpCmp:
+		return []string{in.Op.String(), reg(in.Rd), reg(in.Rs)}
+	case OpLoad:
+		return []string{in.Op.String(), reg(in.Rd), "[g]"}
+	case OpStore:
+		return []string{in.Op.String(), "[g]", reg(in.Rs)}
+	case OpJmp, OpJeq, OpJne, OpJlt, OpJge:
+		return []string{in.Op.String(), "b"}
+	case OpCall:
+		return []string{in.Op.String(), "f"}
+	case OpLock, OpUnlock:
+		return []string{in.Op.String(), "l"}
+	}
+	return []string{in.Op.String()}
+}
+
+func reg(r uint8) string { return fmt.Sprintf("r%d", r) }
+
+// Block is a basic block: a run of instructions with a single entry and a
+// terminating control transfer (or fallthrough if the last instruction is
+// not a terminator).
+type Block struct {
+	ID     int32   // global block ID, unique across the kernel
+	Fn     int32   // owning function ID
+	Instrs []Instr // non-empty; only the last may be a terminator
+}
+
+// Terminator returns the final instruction of the block.
+func (b *Block) Terminator() *Instr {
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// Text renders the block as newline-separated assembly.
+func (b *Block) Text() string {
+	var sb strings.Builder
+	for i := range b.Instrs {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(b.Instrs[i].String())
+	}
+	return sb.String()
+}
+
+// TokenText renders the block as a whitespace-separated token stream using
+// the numeric-eliding tokenisation.
+func (b *Block) TokenText() []string {
+	var toks []string
+	for i := range b.Instrs {
+		toks = append(toks, b.Instrs[i].Tokens()...)
+	}
+	return toks
+}
+
+// Validate checks basic well-formedness of the block. Only the final
+// instruction may be a terminator, registers must be in range, and the
+// block must be non-empty.
+func (b *Block) Validate() error {
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("block b%d: empty", b.ID)
+	}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+			return fmt.Errorf("block b%d: terminator %s at position %d of %d",
+				b.ID, in.Op, i, len(b.Instrs))
+		}
+		if in.Rd >= NumRegs || in.Rs >= NumRegs {
+			return fmt.Errorf("block b%d: register out of range in %s", b.ID, in)
+		}
+	}
+	return nil
+}
+
+// Function is a named group of basic blocks. Blocks[0] is the entry.
+// A conditional branch falls through to the lexically next block in Blocks.
+type Function struct {
+	ID     int32
+	Name   string
+	Blocks []int32 // block IDs in layout order; index 0 is the entry
+}

@@ -1,0 +1,202 @@
+package kasm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "nop", OpMovI: "movi", OpLoad: "load", OpStore: "store",
+		OpJeq: "jeq", OpCall: "call", OpRet: "ret", OpLock: "lock",
+		OpBug: "bug",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.HasPrefix(got, "op(") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+func TestIsTerminator(t *testing.T) {
+	terminators := []Op{OpJmp, OpJeq, OpJne, OpJlt, OpJge, OpCall, OpRet}
+	for _, op := range terminators {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	others := []Op{OpNop, OpMovI, OpLoad, OpStore, OpCmp, OpLock, OpUnlock, OpBug}
+	for _, op := range others {
+		if op.IsTerminator() {
+			t.Errorf("%s should not be a terminator", op)
+		}
+	}
+}
+
+func TestIsCondBranch(t *testing.T) {
+	if OpJmp.IsCondBranch() {
+		t.Error("jmp is not conditional")
+	}
+	for _, op := range []Op{OpJeq, OpJne, OpJlt, OpJge} {
+		if !op.IsCondBranch() {
+			t.Errorf("%s should be conditional", op)
+		}
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	ld := Instr{Op: OpLoad, Rd: 1, Addr: 42}
+	st := Instr{Op: OpStore, Rs: 2, Addr: 7}
+	mv := Instr{Op: OpMov, Rd: 1, Rs: 2}
+	if ld.Reads() != 42 || ld.Writes() != -1 {
+		t.Errorf("load reads/writes = %d/%d", ld.Reads(), ld.Writes())
+	}
+	if st.Writes() != 7 || st.Reads() != -1 {
+		t.Errorf("store reads/writes = %d/%d", st.Reads(), st.Writes())
+	}
+	if mv.Reads() != -1 || mv.Writes() != -1 {
+		t.Error("mov should not touch memory")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpMovI, Rd: 3, Imm: -5}, "movi r3, -5"},
+		{Instr{Op: OpMov, Rd: 1, Rs: 2}, "mov r1, r2"},
+		{Instr{Op: OpAddI, Rd: 0, Imm: 9}, "addi r0, 9"},
+		{Instr{Op: OpLoad, Rd: 4, Addr: 17}, "load r4, [g17]"},
+		{Instr{Op: OpStore, Rs: 5, Addr: 8}, "store [g8], r5"},
+		{Instr{Op: OpCmpI, Rd: 2, Imm: 1}, "cmpi r2, 1"},
+		{Instr{Op: OpJeq, Target: 33}, "jeq b33"},
+		{Instr{Op: OpCall, Callee: 12}, "call f12"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpLock, LockID: 2}, "lock l2"},
+		{Instr{Op: OpUnlock, LockID: 2}, "unlock l2"},
+		{Instr{Op: OpBug, Imm: 7}, "bug 7"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTokensElideNumbers(t *testing.T) {
+	in := Instr{Op: OpLoad, Rd: 4, Addr: 1234}
+	toks := in.Tokens()
+	for _, tok := range toks {
+		if strings.Contains(tok, "1234") {
+			t.Errorf("token %q leaks numeric address", tok)
+		}
+	}
+	want := []string{"load", "r4", "[g]"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestTokensBranchAndCall(t *testing.T) {
+	j := Instr{Op: OpJne, Target: 99}
+	if got := j.Tokens(); len(got) != 2 || got[0] != "jne" || got[1] != "b" {
+		t.Errorf("jne tokens = %v", got)
+	}
+	c := Instr{Op: OpCall, Callee: 7}
+	if got := c.Tokens(); len(got) != 2 || got[0] != "call" || got[1] != "f" {
+		t.Errorf("call tokens = %v", got)
+	}
+	im := Instr{Op: OpCmpI, Rd: 1, Imm: 77}
+	if got := im.Tokens(); got[2] != "imm" {
+		t.Errorf("cmpi tokens = %v", got)
+	}
+}
+
+func TestBlockTerminatorAndText(t *testing.T) {
+	b := Block{ID: 5, Instrs: []Instr{
+		{Op: OpMovI, Rd: 0, Imm: 1},
+		{Op: OpJmp, Target: 6},
+	}}
+	if b.Terminator().Op != OpJmp {
+		t.Error("terminator should be the jmp")
+	}
+	text := b.Text()
+	if text != "movi r0, 1\njmp b6" {
+		t.Errorf("Text() = %q", text)
+	}
+	toks := b.TokenText()
+	if len(toks) != 5 { // movi r0 imm jmp b
+		t.Errorf("TokenText() = %v", toks)
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	good := Block{ID: 1, Instrs: []Instr{
+		{Op: OpNop},
+		{Op: OpRet},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid block rejected: %v", err)
+	}
+
+	empty := Block{ID: 2}
+	if empty.Validate() == nil {
+		t.Error("empty block accepted")
+	}
+
+	midTerm := Block{ID: 3, Instrs: []Instr{
+		{Op: OpRet},
+		{Op: OpNop},
+	}}
+	if midTerm.Validate() == nil {
+		t.Error("mid-block terminator accepted")
+	}
+
+	badReg := Block{ID: 4, Instrs: []Instr{
+		{Op: OpMov, Rd: NumRegs, Rs: 0},
+	}}
+	if badReg.Validate() == nil {
+		t.Error("out-of-range register accepted")
+	}
+}
+
+func TestPropertyTokensNeverContainDigitsInOperands(t *testing.T) {
+	// Any load/store/branch instruction must tokenise without leaking its
+	// numeric operand, whatever the operand value.
+	f := func(addr int32, target int32, imm int64) bool {
+		instrs := []Instr{
+			{Op: OpLoad, Rd: 1, Addr: addr},
+			{Op: OpStore, Rs: 1, Addr: addr},
+			{Op: OpJeq, Target: target},
+			{Op: OpMovI, Rd: 0, Imm: imm},
+		}
+		for _, in := range instrs {
+			for _, tok := range in.Tokens() {
+				// The only digits allowed are register names r0..r7.
+				if len(tok) > 1 && tok[0] == 'r' {
+					continue
+				}
+				for _, ch := range tok {
+					if ch >= '0' && ch <= '9' {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package kasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse converts one rendered assembly line back into an instruction: the
+// inverse of Instr.String. It exists for tooling (dumping and reloading
+// kernels, writing hand-assembled test fixtures) and as the round-trip
+// oracle for the renderer.
+func Parse(line string) (Instr, error) {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	if len(fields) == 0 {
+		return Instr{}, fmt.Errorf("kasm: empty instruction")
+	}
+	op, rest := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("kasm: %s expects %d operands, got %d", op, n, len(rest))
+		}
+		return nil
+	}
+	switch op {
+	case "nop":
+		return Instr{Op: OpNop}, need(0)
+	case "ret":
+		return Instr{Op: OpRet}, need(0)
+	case "movi", "addi", "cmpi":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err := parseReg(rest[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		imm, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("kasm: bad immediate %q", rest[1])
+		}
+		ops := map[string]Op{"movi": OpMovI, "addi": OpAddI, "cmpi": OpCmpI}
+		return Instr{Op: ops[op], Rd: rd, Imm: imm}, nil
+	case "mov", "add", "sub", "xor", "and", "cmp":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err := parseReg(rest[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		rs, err := parseReg(rest[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Op{
+			"mov": OpMov, "add": OpAdd, "sub": OpSub,
+			"xor": OpXor, "and": OpAnd, "cmp": OpCmp,
+		}
+		return Instr{Op: ops[op], Rd: rd, Rs: rs}, nil
+	case "load":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		rd, err := parseReg(rest[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		addr, err := parseAddr(rest[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpLoad, Rd: rd, Addr: addr}, nil
+	case "store":
+		if err := need(2); err != nil {
+			return Instr{}, err
+		}
+		addr, err := parseAddr(rest[0])
+		if err != nil {
+			return Instr{}, err
+		}
+		rs, err := parseReg(rest[1])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpStore, Rs: rs, Addr: addr}, nil
+	case "jmp", "jeq", "jne", "jlt", "jge":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		target, err := parsePrefixed(rest[0], 'b')
+		if err != nil {
+			return Instr{}, err
+		}
+		ops := map[string]Op{
+			"jmp": OpJmp, "jeq": OpJeq, "jne": OpJne, "jlt": OpJlt, "jge": OpJge,
+		}
+		return Instr{Op: ops[op], Target: target}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		callee, err := parsePrefixed(rest[0], 'f')
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpCall, Callee: callee}, nil
+	case "lock", "unlock":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		id, err := parsePrefixed(rest[0], 'l')
+		if err != nil {
+			return Instr{}, err
+		}
+		o := OpLock
+		if op == "unlock" {
+			o = OpUnlock
+		}
+		return Instr{Op: o, LockID: id}, nil
+	case "bug":
+		if err := need(1); err != nil {
+			return Instr{}, err
+		}
+		imm, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return Instr{}, fmt.Errorf("kasm: bad bug id %q", rest[0])
+		}
+		return Instr{Op: OpBug, Imm: imm}, nil
+	}
+	return Instr{}, fmt.Errorf("kasm: unknown mnemonic %q", op)
+}
+
+// ParseBlock parses newline-separated assembly into an instruction list.
+func ParseBlock(text string) ([]Instr, error) {
+	var out []Instr
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		in, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("kasm: bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("kasm: bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseAddr(s string) (int32, error) {
+	if len(s) < 4 || !strings.HasPrefix(s, "[g") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("kasm: bad address %q", s)
+	}
+	n, err := strconv.Atoi(s[2 : len(s)-1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("kasm: bad address %q", s)
+	}
+	return int32(n), nil
+}
+
+func parsePrefixed(s string, prefix byte) (int32, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("kasm: bad %c-operand %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("kasm: bad %c-operand %q", prefix, s)
+	}
+	return int32(n), nil
+}

@@ -1,0 +1,546 @@
+package kernel
+
+import (
+	"fmt"
+
+	"snowcat/internal/kasm"
+	"snowcat/internal/xrand"
+)
+
+// GenConfig controls synthetic kernel generation. The same config (same
+// Seed) always generates the same kernel. MutatedFns allows a derived
+// version to regenerate individual functions under fresh seeds while the
+// rest of the kernel stays bit-identical (see Mutate).
+type GenConfig struct {
+	Seed    uint64
+	Version string
+
+	NumFuncs    int // generic functions (the first NumSyscalls are syscall entries)
+	NumSyscalls int // generic syscall entry points
+	NumGlobals  int // shared kernel variables
+	NumLocks    int
+
+	MinBlocksPerFn int
+	MaxBlocksPerFn int
+
+	SharedBranchFrac float64 // fraction of cond branches that test a shared global
+	CondBranchFrac   float64 // fraction of non-final blocks ending in a cond branch
+	CallFrac         float64 // fraction of non-final blocks ending in a call
+	LockFrac         float64 // probability a block's memory ops run under a lock
+	LockDiscipline   float64 // probability a function honours the var→lock mapping
+
+	NumBugs int // planted concurrency bugs (each adds a reader+writer syscall)
+	// NumIRQs adds interrupt handler functions that the executor can
+	// inject at schedule-chosen points (§6 extension). Default 0: the
+	// base experiments run without interrupts.
+	NumIRQs int
+
+	// MutatedFns overrides the derivation seed of individual generic
+	// functions; used by Mutate to model kernel evolution.
+	MutatedFns map[int]uint64
+	// MutatedBugs overrides the derivation seed of individual planted bugs.
+	MutatedBugs map[int]uint64
+	// ExtraFuncs appends brand-new generic functions (modelling added code).
+	ExtraFuncs int
+}
+
+// DefaultConfig returns the configuration used for the "v5.12" kernels in
+// the experiments: ~2K blocks, 48 generic syscalls, 8 planted bugs.
+func DefaultConfig(seed uint64) GenConfig {
+	return GenConfig{
+		Seed:             seed,
+		Version:          "v5.12",
+		NumFuncs:         180,
+		NumSyscalls:      48,
+		NumGlobals:       160,
+		NumLocks:         12,
+		MinBlocksPerFn:   6,
+		MaxBlocksPerFn:   16,
+		SharedBranchFrac: 0.65,
+		CondBranchFrac:   0.55,
+		CallFrac:         0.45,
+		LockFrac:         0.25,
+		LockDiscipline:   0.8,
+		NumBugs:          8,
+	}
+}
+
+// SmallConfig returns a reduced kernel for unit tests: quick to generate
+// and execute while preserving every structural feature.
+func SmallConfig(seed uint64) GenConfig {
+	cfg := DefaultConfig(seed)
+	cfg.NumFuncs = 36
+	cfg.NumSyscalls = 12
+	cfg.NumGlobals = 32
+	cfg.NumLocks = 6
+	cfg.MinBlocksPerFn = 5
+	cfg.MaxBlocksPerFn = 12
+	cfg.NumBugs = 4
+	return cfg
+}
+
+// genState carries shared generation state across functions.
+type genState struct {
+	cfg     GenConfig
+	k       *Kernel
+	varLock []int32 // var → associated lock (or -1)
+	nextVal int64   // rotating store-value source, reset per function so that
+	// unchanged functions regenerate identically across kernel versions
+}
+
+// Generate builds a kernel from cfg. The result always passes Validate;
+// generation panics only on programmer error (invalid config).
+func Generate(cfg GenConfig) *Kernel {
+	if cfg.NumFuncs < cfg.NumSyscalls {
+		panic(fmt.Sprintf("kernel: NumFuncs=%d < NumSyscalls=%d", cfg.NumFuncs, cfg.NumSyscalls))
+	}
+	if cfg.MinBlocksPerFn < 3 {
+		panic("kernel: MinBlocksPerFn must be >= 3")
+	}
+	root := xrand.New(cfg.Seed)
+	k := &Kernel{
+		Version:    cfg.Version,
+		NumGlobals: cfg.NumGlobals,
+		NumLocks:   cfg.NumLocks,
+	}
+	gs := &genState{cfg: cfg, k: k}
+
+	// Stable var→lock mapping: roughly half the globals are nominally
+	// lock-protected. Functions that honour the discipline take the lock
+	// around accesses; the rest do not, seeding realistic races.
+	lockRNG := root.SplitNamed("varlock")
+	gs.varLock = make([]int32, cfg.NumGlobals)
+	for v := range gs.varLock {
+		if lockRNG.Bool(0.5) {
+			gs.varLock[v] = int32(lockRNG.Intn(cfg.NumLocks))
+		} else {
+			gs.varLock[v] = -1
+		}
+	}
+
+	// Initial memory: small values so branch triggers collide with stores.
+	memRNG := root.SplitNamed("initmem")
+	k.InitMem = make([]int64, cfg.NumGlobals)
+	for i := range k.InitMem {
+		k.InitMem[i] = int64(memRNG.IntRange(4, 7))
+	}
+
+	// Generic functions. Function i may call only functions with larger
+	// IDs (a call DAG), so every execution terminates.
+	totalFns := cfg.NumFuncs + cfg.ExtraFuncs
+	for i := 0; i < totalFns; i++ {
+		seed := root.SplitNamed(fmt.Sprintf("fn-%d", i)).Uint64()
+		if s, ok := cfg.MutatedFns[i]; ok {
+			seed = s
+		}
+		gs.genFunction(i, totalFns, xrand.New(seed))
+	}
+
+	// Generic syscalls: the first NumSyscalls functions are entry points.
+	argRNG := root.SplitNamed("syscall-args")
+	for i := 0; i < cfg.NumSyscalls; i++ {
+		k.Syscalls = append(k.Syscalls, Syscall{
+			ID:      int32(len(k.Syscalls)),
+			Name:    fmt.Sprintf("sys_%d", i),
+			Fn:      int32(i),
+			NumArgs: argRNG.IntRange(1, 3),
+		})
+	}
+
+	// Interrupt handlers: small leaf functions over the shared globals, so
+	// injected handlers interleave real state with the running syscalls.
+	for i := 0; i < cfg.NumIRQs; i++ {
+		seed := root.SplitNamed(fmt.Sprintf("irq-%d", i)).Uint64()
+		fnID := gs.genIRQ(i, xrand.New(seed))
+		k.IRQs = append(k.IRQs, IRQ{ID: int32(i), Name: fmt.Sprintf("irq_%d", i), Fn: fnID})
+	}
+
+	// Planted bugs: each adds a dedicated reader syscall and writer syscall.
+	for b := 0; b < cfg.NumBugs; b++ {
+		seed := root.SplitNamed(fmt.Sprintf("bug-%d", b)).Uint64()
+		if s, ok := cfg.MutatedBugs[b]; ok {
+			seed = s
+		}
+		gs.plantBug(int32(b), xrand.New(seed))
+	}
+
+	if err := k.Validate(); err != nil {
+		panic("kernel: generated invalid kernel: " + err.Error())
+	}
+	return k
+}
+
+// newBlock appends an empty block to function fn and returns it.
+func (gs *genState) newBlock(fn int32) *kasm.Block {
+	b := &kasm.Block{ID: int32(len(gs.k.Blocks)), Fn: fn}
+	gs.k.Blocks = append(gs.k.Blocks, b)
+	gs.k.Funcs[fn].Blocks = append(gs.k.Funcs[fn].Blocks, b.ID)
+	return b
+}
+
+// newFunc appends an empty function and returns its ID.
+func (gs *genState) newFunc(name string) int32 {
+	id := int32(len(gs.k.Funcs))
+	gs.k.Funcs = append(gs.k.Funcs, &kasm.Function{ID: id, Name: name})
+	return id
+}
+
+// genFunction generates generic function i out of total.
+func (gs *genState) genFunction(i, total int, rng *xrand.RNG) {
+	cfg := gs.cfg
+	fnID := gs.newFunc(fmt.Sprintf("fn_%d", i))
+	gs.nextVal = int64(i) & 3
+
+	// Affinity set: the globals this function reads and writes. Drawing
+	// from a shared pool makes different syscalls touch overlapping state,
+	// which is what creates inter-thread data flow under concurrency.
+	affinity := rng.Sample(cfg.NumGlobals, rng.IntRange(4, 10))
+	honest := rng.Bool(cfg.LockDiscipline) // honours var→lock discipline
+
+	n := rng.IntRange(cfg.MinBlocksPerFn, cfg.MaxBlocksPerFn)
+	blocks := make([]*kasm.Block, n)
+	for j := 0; j < n; j++ {
+		blocks[j] = gs.newBlock(fnID)
+	}
+
+	for j := 0; j < n; j++ {
+		b := blocks[j]
+		gs.genBody(b, affinity, honest, rng)
+		// Terminator selection.
+		switch {
+		case j == n-1:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpRet})
+		case rng.Bool(cfg.CondBranchFrac):
+			gs.genCondBranch(b, blocks[nearTarget(rng, j, n)].ID, affinity, rng)
+		case rng.Bool(cfg.CallFrac) && i+1 < total:
+			callee := int32(rng.IntRange(i+1, total-1))
+			// Callee functions are generated lazily in ID order by the
+			// caller loop in Generate, so the reference is forward-only;
+			// Validate runs after all functions exist.
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpCall, Callee: callee})
+		case rng.Bool(0.3):
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpJmp, Target: blocks[nearTarget(rng, j, n)].ID})
+		default:
+			// fallthrough: no terminator instruction
+		}
+	}
+}
+
+// nearTarget picks a forward branch target biased towards nearby blocks,
+// so branches skip one or two blocks: the skipped side stays reachable
+// (a URB candidate) instead of dead weight.
+func nearTarget(rng *xrand.RNG, j, n int) int {
+	t := j + 1 + rng.Geometric(0.5)
+	if t > n-1 {
+		t = n - 1
+	}
+	return t
+}
+
+// genBody emits 2–6 straight-line instructions into b, mixing register
+// arithmetic with loads and stores to the function's affinity globals.
+func (gs *genState) genBody(b *kasm.Block, affinity []int, honest bool, rng *xrand.RNG) {
+	cfg := gs.cfg
+	n := rng.IntRange(2, 6)
+	useLock := rng.Bool(cfg.LockFrac)
+	var lockID int32 = -1
+	var memOps []kasm.Instr
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpMovI, Rd: uint8(rng.Intn(6)), Imm: int64(rng.Intn(8))})
+		case 1:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpAdd, Rd: uint8(rng.Intn(6)), Rs: uint8(rng.Intn(6))})
+		case 2:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpXor, Rd: uint8(rng.Intn(6)), Rs: uint8(rng.Intn(6))})
+		case 3:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpAddI, Rd: uint8(rng.Intn(6)), Imm: int64(rng.Intn(4))})
+		case 4:
+			v := affinity[rng.Intn(len(affinity))]
+			memOps = append(memOps, kasm.Instr{Op: kasm.OpLoad, Rd: uint8(rng.Intn(6)), Addr: int32(v)})
+			if honest && gs.varLock[v] >= 0 {
+				lockID = gs.varLock[v]
+			}
+		case 5:
+			v := affinity[rng.Intn(len(affinity))]
+			gs.nextVal = (gs.nextVal + 1) & 3
+			memOps = append(memOps, kasm.Instr{
+				Op: kasm.OpStore, Rs: uint8(rng.Intn(6)), Addr: int32(v),
+			})
+			// Most stores write a small constant — preferentially the
+			// variable's canonical value — so that shared-guarded branch
+			// triggers elsewhere can match them; this models the small
+			// state-machine values (flags, refcounts, modes) that make
+			// real kernel control flow schedule-sensitive.
+			if rng.Bool(0.8) {
+				val := gs.nextVal
+				if rng.Bool(0.75) {
+					val = int64(v) & 3
+				}
+				memOps[len(memOps)-1] = kasm.Instr{Op: kasm.OpMovI, Rd: 5, Imm: val}
+				memOps = append(memOps, kasm.Instr{Op: kasm.OpStore, Rs: 5, Addr: int32(v)})
+			}
+			if honest && gs.varLock[v] >= 0 {
+				lockID = gs.varLock[v]
+			}
+		}
+	}
+	if len(memOps) > 0 && useLock && lockID >= 0 {
+		b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpLock, LockID: lockID})
+		b.Instrs = append(b.Instrs, memOps...)
+		b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpUnlock, LockID: lockID})
+	} else {
+		b.Instrs = append(b.Instrs, memOps...)
+	}
+}
+
+// genCondBranch terminates b with a conditional branch. A shared-guarded
+// branch loads a global and compares against a small trigger value; such
+// branches are the concurrency-sensitive control flow whose untaken side
+// becomes URBs. Other branches compare a live register, making them
+// input-dependent instead.
+func (gs *genState) genCondBranch(b *kasm.Block, target int32, affinity []int, rng *xrand.RNG) {
+	if rng.Bool(gs.cfg.SharedBranchFrac) {
+		v := affinity[rng.Intn(len(affinity))]
+		trigger := int64(rng.Intn(4))
+		if rng.Bool(0.75) {
+			trigger = int64(v) & 3 // the variable's canonical value
+		}
+		b.Instrs = append(b.Instrs,
+			kasm.Instr{Op: kasm.OpLoad, Rd: 6, Addr: int32(v)},
+			kasm.Instr{Op: kasm.OpCmpI, Rd: 6, Imm: trigger},
+		)
+		op := kasm.OpJeq
+		if rng.Bool(0.35) {
+			op = kasm.OpJne
+		}
+		b.Instrs = append(b.Instrs, kasm.Instr{Op: op, Target: target})
+		return
+	}
+	b.Instrs = append(b.Instrs,
+		kasm.Instr{Op: kasm.OpCmpI, Rd: uint8(rng.Intn(6)), Imm: int64(rng.Intn(8))},
+	)
+	ops := []kasm.Op{kasm.OpJeq, kasm.OpJne, kasm.OpJlt, kasm.OpJge}
+	b.Instrs = append(b.Instrs, kasm.Instr{Op: ops[rng.Intn(len(ops))], Target: target})
+}
+
+// genIRQ generates one interrupt handler: a short leaf function (no
+// calls, forward-only branches) whose body reads and writes the shared
+// global pool, like the generic functions.
+func (gs *genState) genIRQ(i int, rng *xrand.RNG) int32 {
+	cfg := gs.cfg
+	fnID := gs.newFunc(fmt.Sprintf("irq_%d", i))
+	gs.nextVal = int64(i) & 3
+	affinity := rng.Sample(cfg.NumGlobals, rng.IntRange(3, 6))
+	honest := rng.Bool(cfg.LockDiscipline)
+	n := rng.IntRange(3, 6)
+	blocks := make([]*kasm.Block, n)
+	for j := 0; j < n; j++ {
+		blocks[j] = gs.newBlock(fnID)
+	}
+	for j := 0; j < n; j++ {
+		b := blocks[j]
+		gs.genBody(b, affinity, honest, rng)
+		switch {
+		case j == n-1:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpRet})
+		case rng.Bool(cfg.CondBranchFrac):
+			gs.genCondBranch(b, blocks[nearTarget(rng, j, n)].ID, affinity, rng)
+		default:
+			// fallthrough
+		}
+	}
+	return fnID
+}
+
+// plantBug adds one planted concurrency bug, shaped after the paper's bug
+// #7 (Figure 6): a chain of ordering constraints that only precise
+// schedules satisfy.
+//
+//	Reader syscall:  gate on gC (set by the writer) -> guard on gA ->
+//	                 guard on gB -> OpBug.
+//	Writer syscall:  arg gate (first argument must equal TriggerArg) ->
+//	                 store gC -> store gB -> open the gA window -> close it.
+//
+// Consequences the experiments rely on:
+//   - the reader's gA load sits in a block no sequential run covers (the
+//     gC gate fails single-threaded), so the racy read is a URB —
+//     conservative Razzer can never select a triggering input (§5.6.1);
+//   - wrong-argument writer STIs leave the racy stores statically
+//     reachable but dynamically dead, producing the relaxed search's
+//     false positives that only a coverage predictor prunes;
+//   - the bug fires only when the reader's whole guard chain runs inside
+//     the writer's window (atomicity violation) or between the gA store
+//     and the gB clobber (order violation).
+func (gs *genState) plantBug(id int32, rng *xrand.RNG) {
+	k := gs.k
+	// Fresh guard globals so ground truth is unambiguous.
+	gA := int32(k.NumGlobals)
+	gB := int32(k.NumGlobals + 1)
+	gC := int32(k.NumGlobals + 2)
+	gD := int32(k.NumGlobals + 3)
+	k.NumGlobals += 4
+	k.InitMem = append(k.InitMem, 0, 0, 0, 0)
+	v1 := int64(rng.IntRange(1, 7))
+	v2 := int64(rng.IntRange(1, 7))
+	v3 := int64(rng.IntRange(1, 7))
+	v4 := int64(rng.IntRange(1, 7))
+	trigArg := int64(rng.Intn(8))
+	kind := AtomicityViolation
+	if rng.Bool(0.4) {
+		kind = OrderViolation
+	}
+
+	noise := func(b *kasm.Block, n int) {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpAddI, Rd: uint8(rng.Intn(5)), Imm: 1})
+			case 1:
+				b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpXor, Rd: uint8(rng.Intn(5)), Rs: uint8(rng.Intn(5))})
+			case 2:
+				b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpMovI, Rd: uint8(rng.Intn(5)), Imm: int64(rng.Intn(8))})
+			}
+		}
+	}
+	store := func(b *kasm.Block, addr int32, val int64) {
+		b.Instrs = append(b.Instrs,
+			kasm.Instr{Op: kasm.OpMovI, Rd: 5, Imm: val},
+			kasm.Instr{Op: kasm.OpStore, Rs: 5, Addr: addr},
+		)
+	}
+	guard := func(b *kasm.Block, addr int32, val int64, target int32) {
+		b.Instrs = append(b.Instrs,
+			kasm.Instr{Op: kasm.OpLoad, Rd: 6, Addr: addr},
+			kasm.Instr{Op: kasm.OpCmpI, Rd: 6, Imm: val},
+			kasm.Instr{Op: kasm.OpJeq, Target: target},
+		)
+	}
+	ret := func(b *kasm.Block) { b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpRet}) }
+
+	// Reader function: gate on gC, then the guard chain to the bug block.
+	// Order-violation bugs add a fourth guard on gD, which the writer sets
+	// only after closing the gA window: reaching the bug then needs *two*
+	// precisely placed switches (reader pauses between guard 2 and guard
+	// 3 while the writer advances) — the multi-constraint ordering chain
+	// of the paper's bug #7.
+	rFn := gs.newFunc(fmt.Sprintf("bug%d_reader", id))
+	r0 := gs.newBlock(rFn) // gate on gC
+	r1 := gs.newBlock(rFn) // early return (gate failed): the sequential path
+	r2 := gs.newBlock(rFn) // guard 1 on gA — the racy URB read
+	r3 := gs.newBlock(rFn) // early return
+	r4 := gs.newBlock(rFn) // guard 2 on gB
+	r5 := gs.newBlock(rFn) // early return
+	var r6, r7 *kasm.Block
+	if kind == OrderViolation {
+		r6 = gs.newBlock(rFn) // guard 3 on gD (set late by the writer)
+		r7 = gs.newBlock(rFn) // early return
+	}
+	rBug := gs.newBlock(rFn) // bug block
+	noise(r0, rng.IntRange(1, 3))
+	guard(r0, gC, v3, r2.ID)
+	ret(r1)
+	noise(r2, rng.IntRange(0, 2))
+	guard(r2, gA, v1, r4.ID)
+	ret(r3)
+	if kind == OrderViolation {
+		guard(r4, gB, v2, r6.ID)
+		ret(r5)
+		guard(r6, gD, v4, rBug.ID)
+		ret(r7)
+	} else {
+		guard(r4, gB, v2, rBug.ID)
+		ret(r5)
+	}
+	rBug.Instrs = append(rBug.Instrs, kasm.Instr{Op: kasm.OpBug, Imm: int64(id)})
+	ret(rBug)
+
+	// Writer function: the gC announcement is unconditional (so INS-PAIR
+	// clustering sees every writer input), but the racy stores sit behind
+	// the argument gate. A wrong-argument writer leaves the racy store
+	// block a 1-hop URB: statically reachable — the relaxed Razzer search
+	// accepts it — yet dynamically dead, which only a coverage predictor
+	// can recognise.
+	wFn := gs.newFunc(fmt.Sprintf("bug%d_writer", id))
+	w0 := gs.newBlock(wFn) // announce gC, then the arg gate
+	w1 := gs.newBlock(wFn) // racy stores: gB then the gA window opens
+	w2 := gs.newBlock(wFn) // window closes
+	w3 := gs.newBlock(wFn) // join point: withdraw the gC announcement
+	w4 := gs.newBlock(wFn) // return
+	noise(w0, rng.IntRange(1, 3))
+	store(w0, gC, v3)
+	w0.Instrs = append(w0.Instrs,
+		kasm.Instr{Op: kasm.OpCmpI, Rd: 0, Imm: trigArg},
+		kasm.Instr{Op: kasm.OpJne, Target: w3.ID},
+	)
+	noise(w1, rng.IntRange(0, 2))
+	store(w1, gB, v2)
+	store(w1, gA, v1) // window opens
+	noise(w2, rng.IntRange(2, 5))
+	switch kind {
+	case AtomicityViolation:
+		store(w2, gA, 0) // window closes
+	case OrderViolation:
+		// Close the gA window, then publish gD: the reader must pass
+		// guards 1–2 before this block and check guard 3 after it.
+		store(w2, gA, 0)
+		store(w2, gD, v4)
+	}
+	// Withdraw the announcement on BOTH paths: once the writer returns,
+	// the reader's gate can no longer open, so no *sequential* run ever
+	// reaches the racy read — only a true interleaving does.
+	store(w3, gC, 0)
+	ret(w4)
+
+	readerSC := Syscall{
+		ID: int32(len(k.Syscalls)), Name: fmt.Sprintf("sys_bug%d_r", id),
+		Fn: rFn, NumArgs: 1,
+	}
+	k.Syscalls = append(k.Syscalls, readerSC)
+	writerSC := Syscall{
+		ID: int32(len(k.Syscalls)), Name: fmt.Sprintf("sys_bug%d_w", id),
+		Fn: wFn, NumArgs: 1,
+	}
+	k.Syscalls = append(k.Syscalls, writerSC)
+
+	guards := []int32{gA, gB, gC}
+	if kind == OrderViolation {
+		guards = append(guards, gD)
+	}
+	k.Bugs = append(k.Bugs, Bug{
+		ID: id, Kind: kind, BugBlock: rBug.ID,
+		ReaderSyscall: readerSC.ID, WriterSyscall: writerSC.ID,
+		GuardVars:  guards,
+		TriggerArg: trigArg,
+	})
+}
+
+// Mutate derives a new kernel version from cfg: fracChanged of the generic
+// functions are regenerated under fresh seeds, extraFuncs brand-new
+// functions are appended, and newBugs planted bugs are re-rolled (modelling
+// newly introduced concurrency bugs). The remaining code is unchanged,
+// mirroring real kernel evolution where most assembly persists between
+// versions (§5.4).
+func Mutate(cfg GenConfig, newVersion string, seed uint64, fracChanged float64, extraFuncs, newBugs int) GenConfig {
+	rng := xrand.New(seed)
+	out := cfg
+	out.Version = newVersion
+	out.ExtraFuncs = cfg.ExtraFuncs + extraFuncs
+	out.MutatedFns = make(map[int]uint64, len(cfg.MutatedFns))
+	for k, v := range cfg.MutatedFns {
+		out.MutatedFns[k] = v
+	}
+	out.MutatedBugs = make(map[int]uint64, len(cfg.MutatedBugs))
+	for k, v := range cfg.MutatedBugs {
+		out.MutatedBugs[k] = v
+	}
+	total := cfg.NumFuncs + cfg.ExtraFuncs
+	nChanged := int(fracChanged * float64(total))
+	for _, fi := range rng.Sample(total, nChanged) {
+		out.MutatedFns[fi] = rng.Uint64()
+	}
+	for b := 0; b < newBugs && b < cfg.NumBugs; b++ {
+		out.MutatedBugs[rng.Intn(cfg.NumBugs)] = rng.Uint64()
+	}
+	return out
+}

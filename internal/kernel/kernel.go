@@ -1,0 +1,306 @@
+// Package kernel defines the synthetic kernel that Snowcat-Go tests.
+//
+// The paper targets the Linux kernel; this reproduction substitutes a
+// procedurally generated kernel over the kasm ISA (see DESIGN.md §2). The
+// generator plants the structures that make kernel concurrency testing
+// interesting in the first place:
+//
+//   - shared global state read and written by different syscalls, so that
+//     concurrent executions have inter-thread data flow;
+//   - concurrency-sensitive branches that guard blocks on shared variables
+//     written by other syscalls, so that block coverage depends on the
+//     interleaving (these guarded blocks become the URBs the PIC model
+//     learns to predict);
+//   - locks with critical sections, giving the race detector both benign
+//     (protected) and harmful (unprotected) conflicting accesses;
+//   - planted concurrency bugs — OpBug sites reachable only under specific
+//     interleavings — so that "bug found" is a ground-truth-checkable event.
+//
+// Kernels are versioned: Mutate derives a "next version" by regenerating
+// some functions and adding new ones, which the §5.4 experiments use to
+// study predictor generalisation across versions.
+package kernel
+
+import (
+	"fmt"
+
+	"snowcat/internal/kasm"
+)
+
+// Syscall describes one system-call entry point.
+type Syscall struct {
+	ID      int32
+	Name    string
+	Fn      int32 // entry function ID
+	NumArgs int   // arguments are placed in r0..r(NumArgs-1) at entry
+}
+
+// BugKind classifies a planted concurrency bug, mirroring the paper's
+// Table 3 taxonomy.
+type BugKind uint8
+
+const (
+	// AtomicityViolation: the trigger window opens and closes within the
+	// writer thread; the reader must interleave inside the window.
+	AtomicityViolation BugKind = iota
+	// OrderViolation: the bug fires when two writes from the peer thread
+	// are observed in an unintended order.
+	OrderViolation
+)
+
+func (k BugKind) String() string {
+	switch k {
+	case AtomicityViolation:
+		return "atomicity-violation"
+	case OrderViolation:
+		return "order-violation"
+	}
+	return "unknown"
+}
+
+// Bug is the ground truth for one planted concurrency bug.
+type Bug struct {
+	ID       int32
+	Kind     BugKind
+	BugBlock int32 // block containing the OpBug instruction
+	// ReaderSyscall must run concurrently with WriterSyscall for the bug
+	// to be triggerable; the guard variables record the shared state the
+	// trigger depends on: GuardVars[0] and [1] carry the racing window,
+	// GuardVars[2] is the gate the reader checks before entering the racy
+	// region (the reason the racy load is a URB of every sequential run).
+	ReaderSyscall int32
+	WriterSyscall int32
+	GuardVars     []int32
+	// TriggerArg is the first argument the writer syscall requires for its
+	// racy stores to execute at all; other arguments make the writer a
+	// true negative that only input analysis — or a learned coverage
+	// predictor — can rule out.
+	TriggerArg int64
+}
+
+// IRQ describes one interrupt handler: a function the executor can inject
+// onto a running kernel thread at a schedule-chosen instruction (§6
+// discusses interrupt-handler coverage as a further prediction task).
+type IRQ struct {
+	ID   int32
+	Name string
+	Fn   int32
+}
+
+// Kernel is one version of the synthetic kernel.
+type Kernel struct {
+	Version    string
+	Blocks     []*kasm.Block    // indexed by block ID
+	Funcs      []*kasm.Function // indexed by function ID
+	Syscalls   []Syscall
+	IRQs       []IRQ
+	NumGlobals int
+	NumLocks   int
+	InitMem    []int64 // initial values of the globals
+	Bugs       []Bug
+}
+
+// Block returns the block with the given ID, or nil if out of range.
+func (k *Kernel) Block(id int32) *kasm.Block {
+	if id < 0 || int(id) >= len(k.Blocks) {
+		return nil
+	}
+	return k.Blocks[id]
+}
+
+// Func returns the function with the given ID, or nil if out of range.
+func (k *Kernel) Func(id int32) *kasm.Function {
+	if id < 0 || int(id) >= len(k.Funcs) {
+		return nil
+	}
+	return k.Funcs[id]
+}
+
+// NumBlocks returns the total number of basic blocks.
+func (k *Kernel) NumBlocks() int { return len(k.Blocks) }
+
+// FallthroughOf returns the block that a conditional branch in block id
+// falls through to (the lexically next block in the owning function), or -1
+// if id is the last block of its function.
+func (k *Kernel) FallthroughOf(id int32) int32 {
+	b := k.Block(id)
+	if b == nil {
+		return -1
+	}
+	fn := k.Func(b.Fn)
+	for i, bid := range fn.Blocks {
+		if bid == id {
+			if i+1 < len(fn.Blocks) {
+				return fn.Blocks[i+1]
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// Successors appends the static successor block IDs of block id to dst and
+// returns it. Call successors are the entry block of the callee plus the
+// fallthrough (the return continues in the next block of the caller);
+// ret has no static successors.
+func (k *Kernel) Successors(id int32, dst []int32) []int32 {
+	b := k.Block(id)
+	if b == nil {
+		return dst
+	}
+	t := b.Terminator()
+	switch t.Op {
+	case kasm.OpJmp:
+		dst = append(dst, t.Target)
+	case kasm.OpJeq, kasm.OpJne, kasm.OpJlt, kasm.OpJge:
+		dst = append(dst, t.Target)
+		if ft := k.FallthroughOf(id); ft >= 0 {
+			dst = append(dst, ft)
+		}
+	case kasm.OpCall:
+		if fn := k.Func(t.Callee); fn != nil && len(fn.Blocks) > 0 {
+			dst = append(dst, fn.Blocks[0])
+		}
+		if ft := k.FallthroughOf(id); ft >= 0 {
+			dst = append(dst, ft)
+		}
+	case kasm.OpRet:
+		// no static successors: return address is dynamic
+	default:
+		// Non-terminator last instruction: fall through.
+		if ft := k.FallthroughOf(id); ft >= 0 {
+			dst = append(dst, ft)
+		}
+	}
+	return dst
+}
+
+// Validate checks global well-formedness: every block validates, every
+// branch target and callee exists, every function is non-empty, every
+// syscall points at a real function, and memory/lock references are in
+// range.
+func (k *Kernel) Validate() error {
+	if len(k.InitMem) != k.NumGlobals {
+		return fmt.Errorf("kernel %s: InitMem has %d entries, NumGlobals=%d",
+			k.Version, len(k.InitMem), k.NumGlobals)
+	}
+	for id, b := range k.Blocks {
+		if b == nil {
+			return fmt.Errorf("kernel %s: nil block %d", k.Version, id)
+		}
+		if b.ID != int32(id) {
+			return fmt.Errorf("kernel %s: block at index %d has ID %d", k.Version, id, b.ID)
+		}
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("kernel %s: %w", k.Version, err)
+		}
+		if k.Func(b.Fn) == nil {
+			return fmt.Errorf("kernel %s: block b%d references missing function f%d",
+				k.Version, b.ID, b.Fn)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch {
+			case in.Op.IsTerminator() && in.Op != kasm.OpRet && in.Op != kasm.OpCall:
+				if k.Block(in.Target) == nil {
+					return fmt.Errorf("kernel %s: b%d branches to missing b%d",
+						k.Version, b.ID, in.Target)
+				}
+			case in.Op == kasm.OpCall:
+				if k.Func(in.Callee) == nil {
+					return fmt.Errorf("kernel %s: b%d calls missing f%d",
+						k.Version, b.ID, in.Callee)
+				}
+			case in.Op == kasm.OpLoad || in.Op == kasm.OpStore:
+				if in.Addr < 0 || int(in.Addr) >= k.NumGlobals {
+					return fmt.Errorf("kernel %s: b%d accesses g%d outside [0,%d)",
+						k.Version, b.ID, in.Addr, k.NumGlobals)
+				}
+			case in.Op == kasm.OpLock || in.Op == kasm.OpUnlock:
+				if in.LockID < 0 || int(in.LockID) >= k.NumLocks {
+					return fmt.Errorf("kernel %s: b%d uses lock l%d outside [0,%d)",
+						k.Version, b.ID, in.LockID, k.NumLocks)
+				}
+			}
+		}
+	}
+	for id, fn := range k.Funcs {
+		if fn == nil || len(fn.Blocks) == 0 {
+			return fmt.Errorf("kernel %s: function %d empty", k.Version, id)
+		}
+		if fn.ID != int32(id) {
+			return fmt.Errorf("kernel %s: function at index %d has ID %d", k.Version, id, fn.ID)
+		}
+		for _, bid := range fn.Blocks {
+			b := k.Block(bid)
+			if b == nil {
+				return fmt.Errorf("kernel %s: f%d lists missing block b%d", k.Version, fn.ID, bid)
+			}
+			if b.Fn != fn.ID {
+				return fmt.Errorf("kernel %s: block b%d listed in f%d but owned by f%d",
+					k.Version, bid, fn.ID, b.Fn)
+			}
+		}
+	}
+	for _, sc := range k.Syscalls {
+		if k.Func(sc.Fn) == nil {
+			return fmt.Errorf("kernel %s: syscall %s references missing f%d",
+				k.Version, sc.Name, sc.Fn)
+		}
+	}
+	for _, irq := range k.IRQs {
+		if k.Func(irq.Fn) == nil {
+			return fmt.Errorf("kernel %s: irq %s references missing f%d",
+				k.Version, irq.Name, irq.Fn)
+		}
+	}
+	for _, bug := range k.Bugs {
+		if k.Block(bug.BugBlock) == nil {
+			return fmt.Errorf("kernel %s: bug %d references missing block b%d",
+				k.Version, bug.ID, bug.BugBlock)
+		}
+	}
+	return nil
+}
+
+// Stats summarises the kernel for logging and docs.
+type Stats struct {
+	Funcs, Blocks, Instrs   int
+	Syscalls, Locks, Bugs   int
+	Globals                 int
+	CondBranches            int
+	SharedGuardedBranches   int // conditional branches whose condition loads a global
+	LoadInstrs, StoreInstrs int
+}
+
+// ComputeStats walks the kernel and tallies Stats.
+func (k *Kernel) ComputeStats() Stats {
+	s := Stats{
+		Funcs:    len(k.Funcs),
+		Blocks:   len(k.Blocks),
+		Syscalls: len(k.Syscalls),
+		Locks:    k.NumLocks,
+		Bugs:     len(k.Bugs),
+		Globals:  k.NumGlobals,
+	}
+	for _, b := range k.Blocks {
+		s.Instrs += len(b.Instrs)
+		sawLoad := false
+		for i := range b.Instrs {
+			switch b.Instrs[i].Op {
+			case kasm.OpLoad:
+				s.LoadInstrs++
+				sawLoad = true
+			case kasm.OpStore:
+				s.StoreInstrs++
+			}
+		}
+		if t := b.Terminator(); t.Op.IsCondBranch() {
+			s.CondBranches++
+			if sawLoad {
+				s.SharedGuardedBranches++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,359 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snowcat/internal/kasm"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	k := Generate(SmallConfig(1))
+	if err := k.Validate(); err != nil {
+		t.Fatalf("generated kernel invalid: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SmallConfig(42))
+	b := Generate(SmallConfig(42))
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatalf("block counts differ: %d vs %d", a.NumBlocks(), b.NumBlocks())
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Text() != b.Blocks[i].Text() {
+			t.Fatalf("block %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(SmallConfig(1))
+	b := Generate(SmallConfig(2))
+	if a.NumBlocks() == b.NumBlocks() {
+		same := 0
+		for i := range a.Blocks {
+			if a.Blocks[i].Text() == b.Blocks[i].Text() {
+				same++
+			}
+		}
+		if same == len(a.Blocks) {
+			t.Fatal("different seeds produced identical kernels")
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := SmallConfig(7)
+	k := Generate(cfg)
+	// Generic syscalls plus two per planted bug.
+	wantSyscalls := cfg.NumSyscalls + 2*cfg.NumBugs
+	if len(k.Syscalls) != wantSyscalls {
+		t.Errorf("syscalls = %d, want %d", len(k.Syscalls), wantSyscalls)
+	}
+	if len(k.Bugs) != cfg.NumBugs {
+		t.Errorf("bugs = %d, want %d", len(k.Bugs), cfg.NumBugs)
+	}
+	// Bug guard globals were appended beyond the configured count (four
+	// slots reserved per bug; atomicity bugs leave gD unused).
+	if k.NumGlobals != cfg.NumGlobals+4*cfg.NumBugs {
+		t.Errorf("globals = %d, want %d", k.NumGlobals, cfg.NumGlobals+4*cfg.NumBugs)
+	}
+	st := k.ComputeStats()
+	if st.CondBranches == 0 || st.SharedGuardedBranches == 0 {
+		t.Errorf("expected planted branches, got %+v", st)
+	}
+	if st.LoadInstrs == 0 || st.StoreInstrs == 0 {
+		t.Errorf("expected memory traffic, got %+v", st)
+	}
+}
+
+func TestBugGroundTruth(t *testing.T) {
+	k := Generate(SmallConfig(11))
+	for _, bug := range k.Bugs {
+		bb := k.Block(bug.BugBlock)
+		if bb == nil {
+			t.Fatalf("bug %d: missing bug block", bug.ID)
+		}
+		found := false
+		for i := range bb.Instrs {
+			if bb.Instrs[i].Op == kasm.OpBug {
+				found = true
+				if bb.Instrs[i].Imm != int64(bug.ID) {
+					t.Errorf("bug %d: OpBug has Imm %d", bug.ID, bb.Instrs[i].Imm)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("bug %d: block b%d lacks OpBug", bug.ID, bug.BugBlock)
+		}
+		if bug.ReaderSyscall == bug.WriterSyscall {
+			t.Errorf("bug %d: reader and writer are the same syscall", bug.ID)
+		}
+		wantGuards := 3
+		if bug.Kind == OrderViolation {
+			wantGuards = 4
+		}
+		if len(bug.GuardVars) != wantGuards {
+			t.Errorf("bug %d (%s): want %d guard vars, got %d",
+				bug.ID, bug.Kind, wantGuards, len(bug.GuardVars))
+		}
+		if bug.TriggerArg < 0 || bug.TriggerArg > 7 {
+			t.Errorf("bug %d: trigger arg %d out of range", bug.ID, bug.TriggerArg)
+		}
+	}
+}
+
+func TestForwardOnlyBranches(t *testing.T) {
+	// Every branch target must be a later block of the same function:
+	// this is the termination guarantee of the interpreter.
+	k := Generate(SmallConfig(13))
+	pos := make(map[int32]int) // block ID → index within its function
+	for _, fn := range k.Funcs {
+		for i, bid := range fn.Blocks {
+			pos[bid] = i
+		}
+	}
+	for _, b := range k.Blocks {
+		t2 := b.Terminator()
+		if t2.Op == kasm.OpJmp || t2.Op.IsCondBranch() {
+			tb := k.Block(t2.Target)
+			if tb.Fn != b.Fn {
+				t.Fatalf("b%d branches across functions", b.ID)
+			}
+			if pos[t2.Target] <= pos[b.ID] {
+				t.Fatalf("b%d has non-forward branch to b%d", b.ID, t2.Target)
+			}
+		}
+	}
+}
+
+func TestCallDAG(t *testing.T) {
+	k := Generate(SmallConfig(17))
+	for _, b := range k.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == kasm.OpCall {
+				if b.Instrs[i].Callee <= b.Fn {
+					t.Fatalf("b%d in f%d calls f%d: not a DAG",
+						b.ID, b.Fn, b.Instrs[i].Callee)
+				}
+			}
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	k := Generate(SmallConfig(19))
+	var buf []int32
+	for _, b := range k.Blocks {
+		buf = k.Successors(b.ID, buf[:0])
+		t2 := b.Terminator()
+		switch {
+		case t2.Op == kasm.OpRet:
+			if len(buf) != 0 {
+				t.Fatalf("ret block b%d has successors %v", b.ID, buf)
+			}
+		case t2.Op == kasm.OpJmp:
+			if len(buf) != 1 || buf[0] != t2.Target {
+				t.Fatalf("jmp block b%d successors %v", b.ID, buf)
+			}
+		case t2.Op.IsCondBranch():
+			if len(buf) < 1 || buf[0] != t2.Target {
+				t.Fatalf("cond block b%d successors %v", b.ID, buf)
+			}
+		case t2.Op == kasm.OpCall:
+			if len(buf) < 1 {
+				t.Fatalf("call block b%d has no successors", b.ID)
+			}
+			callee := k.Func(t2.Callee)
+			if buf[0] != callee.Blocks[0] {
+				t.Fatalf("call block b%d first successor %d, want callee entry %d",
+					b.ID, buf[0], callee.Blocks[0])
+			}
+		}
+	}
+}
+
+func TestFallthroughOf(t *testing.T) {
+	k := Generate(SmallConfig(23))
+	fn := k.Funcs[0]
+	if got := k.FallthroughOf(fn.Blocks[0]); got != fn.Blocks[1] {
+		t.Errorf("FallthroughOf(entry) = %d, want %d", got, fn.Blocks[1])
+	}
+	last := fn.Blocks[len(fn.Blocks)-1]
+	if got := k.FallthroughOf(last); got != -1 {
+		t.Errorf("FallthroughOf(last) = %d, want -1", got)
+	}
+	if got := k.FallthroughOf(-5); got != -1 {
+		t.Errorf("FallthroughOf(-5) = %d, want -1", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Kernel { return Generate(SmallConfig(29)) }
+
+	k := mk()
+	k.Blocks[0].Instrs = nil
+	if k.Validate() == nil {
+		t.Error("empty block not caught")
+	}
+
+	k = mk()
+	k.Blocks[3].Instrs = []kasm.Instr{{Op: kasm.OpJmp, Target: 99999}}
+	if k.Validate() == nil {
+		t.Error("dangling branch target not caught")
+	}
+
+	k = mk()
+	k.InitMem = k.InitMem[:1]
+	if k.Validate() == nil {
+		t.Error("InitMem size mismatch not caught")
+	}
+
+	k = mk()
+	k.Syscalls[0].Fn = 99999
+	if k.Validate() == nil {
+		t.Error("dangling syscall entry not caught")
+	}
+}
+
+func TestMutatePreservesMostCode(t *testing.T) {
+	base := SmallConfig(31)
+	k1 := Generate(base)
+	cfg2 := Mutate(base, "v5.13", 99, 0.1, 2, 1)
+	k2 := Generate(cfg2)
+	if k2.Version != "v5.13" {
+		t.Errorf("version = %q", k2.Version)
+	}
+	// The mutated kernel must have more functions (2 extra + same bugs).
+	if len(k2.Funcs) != len(k1.Funcs)+2 {
+		t.Errorf("funcs = %d, want %d", len(k2.Funcs), len(k1.Funcs)+2)
+	}
+	// Most generic functions should render identical assembly.
+	same := 0
+	for i := 0; i < base.NumFuncs; i++ {
+		t1 := funcText(k1, int32(i))
+		t2 := funcText(k2, int32(i))
+		if t1 == t2 {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(base.NumFuncs); frac < 0.75 {
+		t.Errorf("only %.0f%% of functions preserved; want most", frac*100)
+	}
+	if same == base.NumFuncs {
+		t.Error("mutation changed nothing")
+	}
+}
+
+func TestMutateDoesNotAliasConfigMaps(t *testing.T) {
+	base := SmallConfig(37)
+	m1 := Mutate(base, "a", 1, 0.2, 0, 0)
+	m2 := Mutate(m1, "b", 2, 0.2, 0, 0)
+	if len(m2.MutatedFns) < len(m1.MutatedFns) {
+		t.Error("mutation chain lost earlier overrides")
+	}
+	before := len(m1.MutatedFns)
+	_ = Mutate(m1, "c", 3, 0.5, 0, 0)
+	if len(m1.MutatedFns) != before {
+		t.Error("Mutate mutated its input config")
+	}
+}
+
+// funcText renders a function's assembly with numeric operands elided, the
+// same view the PIC encoder sees: block IDs shift between kernel versions,
+// so only the token stream is comparable across versions.
+func funcText(k *Kernel, fn int32) string {
+	s := ""
+	for _, bid := range k.Func(fn).Blocks {
+		for _, tok := range k.Block(bid).TokenText() {
+			s += tok + " "
+		}
+		s += "\n--\n"
+	}
+	return s
+}
+
+func TestPropertyGenerateAlwaysValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := SmallConfig(seed)
+		cfg.NumFuncs = 12 + int(seed%8)
+		cfg.NumSyscalls = 6
+		cfg.NumBugs = int(seed % 3)
+		k := Generate(cfg)
+		return k.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBugKindString(t *testing.T) {
+	if AtomicityViolation.String() != "atomicity-violation" {
+		t.Error(AtomicityViolation.String())
+	}
+	if OrderViolation.String() != "order-violation" {
+		t.Error(OrderViolation.String())
+	}
+	if BugKind(99).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestDefaultConfigScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default kernel generation in -short mode")
+	}
+	k := Generate(DefaultConfig(5))
+	st := k.ComputeStats()
+	if st.Blocks < 1500 {
+		t.Errorf("default kernel too small: %d blocks", st.Blocks)
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRQGeneration(t *testing.T) {
+	cfg := SmallConfig(41)
+	cfg.NumIRQs = 4
+	k := Generate(cfg)
+	if len(k.IRQs) != 4 {
+		t.Fatalf("irqs = %d", len(k.IRQs))
+	}
+	for _, irq := range k.IRQs {
+		fn := k.Func(irq.Fn)
+		if fn == nil {
+			t.Fatalf("irq %s has no function", irq.Name)
+		}
+		// Handlers are leaves: no calls.
+		for _, bid := range fn.Blocks {
+			for i := range k.Block(bid).Instrs {
+				if k.Block(bid).Instrs[i].Op == kasm.OpCall {
+					t.Fatalf("handler %s contains a call", irq.Name)
+				}
+			}
+		}
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No handler is a syscall entry point.
+	for _, sc := range k.Syscalls {
+		for _, irq := range k.IRQs {
+			if sc.Fn == irq.Fn {
+				t.Fatal("handler doubles as a syscall")
+			}
+		}
+	}
+}
+
+func TestValidateCatchesDanglingIRQ(t *testing.T) {
+	cfg := SmallConfig(43)
+	cfg.NumIRQs = 1
+	k := Generate(cfg)
+	k.IRQs[0].Fn = 99999
+	if k.Validate() == nil {
+		t.Fatal("dangling IRQ accepted")
+	}
+}

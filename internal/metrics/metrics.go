@@ -1,0 +1,184 @@
+// Package metrics implements the binary-classification metrics of §5.1–§5.2:
+// precision, recall, F1/F-beta, accuracy, balanced accuracy, and average
+// precision (AP). The PIC evaluation reports these per graph and averages
+// across graphs (Table 1); threshold tuning maximises mean F2 on URBs.
+package metrics
+
+import "sort"
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (prediction, truth) pair.
+func (c *Confusion) Add(pred, actual bool) {
+	switch {
+	case pred && actual:
+		c.TP++
+	case pred && !actual:
+		c.FP++
+	case !pred && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Merge accumulates another confusion matrix.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
+// Total returns the number of recorded pairs.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP); 0 when undefined.
+func (c *Confusion) Precision() float64 {
+	d := c.TP + c.FP
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// Recall returns TP/(TP+FN); 0 when undefined.
+func (c *Confusion) Recall() float64 {
+	d := c.TP + c.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(d)
+}
+
+// TrueNegativeRate returns TN/(TN+FP); 0 when undefined.
+func (c *Confusion) TrueNegativeRate() float64 {
+	d := c.TN + c.FP
+	if d == 0 {
+		return 0
+	}
+	return float64(c.TN) / float64(d)
+}
+
+// Accuracy returns (TP+TN)/total; 0 when empty.
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// BalancedAccuracy returns the mean of recall and true-negative rate.
+func (c *Confusion) BalancedAccuracy() float64 {
+	return (c.Recall() + c.TrueNegativeRate()) / 2
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c *Confusion) F1() float64 { return c.FBeta(1) }
+
+// FBeta returns the F-beta score; beta > 1 weighs recall higher (the paper
+// tunes the PIC threshold with F2, §5.1.2).
+func (c *Confusion) FBeta(beta float64) float64 {
+	p, r := c.Precision(), c.Recall()
+	b2 := beta * beta
+	d := b2*p + r
+	if d == 0 {
+		return 0
+	}
+	return (1 + b2) * p * r / d
+}
+
+// AveragePrecision computes AP: the mean of precision values at each
+// positive example when examples are ranked by descending score. Ties are
+// broken by original index for determinism. Returns 0 when there are no
+// positives.
+func AveragePrecision(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) {
+		panic("metrics: scores/labels length mismatch")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	numPos := 0
+	for _, l := range labels {
+		if l {
+			numPos++
+		}
+	}
+	if numPos == 0 {
+		return 0
+	}
+	tp := 0
+	sum := 0.0
+	for rank, i := range idx {
+		if labels[i] {
+			tp++
+			sum += float64(tp) / float64(rank+1)
+		}
+	}
+	return sum / float64(numPos)
+}
+
+// Evaluate thresholds the scores and returns the confusion matrix.
+func Evaluate(scores []float64, labels []bool, threshold float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		c.Add(s >= threshold, labels[i])
+	}
+	return c
+}
+
+// BestFBetaThreshold sweeps candidate thresholds (the distinct score
+// values) and returns the one maximising F-beta, with the achieved score.
+// The F-beta curve is often a near-flat plateau; among thresholds within
+// 5% of the maximum the *lowest* is returned, favouring recall — the
+// paper picks F2 precisely because it "favors a higher recall over a
+// higher precision" (§5.1.2), and on a plateau the lower threshold is the
+// recall-heavy end. Returns (0.5, 0) when scores are empty.
+func BestFBetaThreshold(scores []float64, labels []bool, beta float64) (float64, float64) {
+	if len(scores) == 0 {
+		return 0.5, 0
+	}
+	cand := append([]float64(nil), scores...)
+	sort.Float64s(cand)
+	type point struct{ t, f float64 }
+	var pts []point
+	bestF := -1.0
+	prev := cand[0] - 1
+	for _, t := range cand {
+		if t == prev {
+			continue
+		}
+		prev = t
+		c := Evaluate(scores, labels, t)
+		f := c.FBeta(beta)
+		pts = append(pts, point{t: t, f: f})
+		if f > bestF {
+			bestF = f
+		}
+	}
+	for _, p := range pts { // ascending threshold: first within tolerance wins
+		if p.f >= 0.95*bestF {
+			return p.t, p.f
+		}
+	}
+	return pts[len(pts)-1].t, bestF
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

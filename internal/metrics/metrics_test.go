@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func eq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConfusionCounting(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 || c.Total() != 4 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestMetricsKnownValues(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, TN: 85, FN: 5}
+	if !eq(c.Precision(), 0.8) {
+		t.Errorf("precision %v", c.Precision())
+	}
+	if !eq(c.Recall(), 8.0/13) {
+		t.Errorf("recall %v", c.Recall())
+	}
+	if !eq(c.Accuracy(), 0.93) {
+		t.Errorf("accuracy %v", c.Accuracy())
+	}
+	if !eq(c.TrueNegativeRate(), 85.0/87) {
+		t.Errorf("tnr %v", c.TrueNegativeRate())
+	}
+	wantBA := (8.0/13 + 85.0/87) / 2
+	if !eq(c.BalancedAccuracy(), wantBA) {
+		t.Errorf("ba %v", c.BalancedAccuracy())
+	}
+	p, r := 0.8, 8.0/13
+	wantF1 := 2 * p * r / (p + r)
+	if !eq(c.F1(), wantF1) {
+		t.Errorf("f1 %v want %v", c.F1(), wantF1)
+	}
+}
+
+func TestEmptyConfusionSafe(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.Accuracy() != 0 ||
+		c.F1() != 0 || c.BalancedAccuracy() != 0 {
+		t.Fatal("empty confusion should be all zeros")
+	}
+}
+
+func TestFBetaFavoursRecall(t *testing.T) {
+	// High recall, low precision: F2 must exceed F1 (recall-weighted).
+	c := Confusion{TP: 9, FP: 9, FN: 1, TN: 81}
+	if c.FBeta(2) <= c.F1() {
+		t.Fatalf("F2 %v <= F1 %v for high-recall classifier", c.FBeta(2), c.F1())
+	}
+	// High precision, low recall: F2 must be below F1.
+	c = Confusion{TP: 1, FP: 0, FN: 9, TN: 90}
+	if c.FBeta(2) >= c.F1() {
+		t.Fatalf("F2 %v >= F1 %v for high-precision classifier", c.FBeta(2), c.F1())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, TN: 3, FN: 4}
+	b := Confusion{TP: 10, FP: 20, TN: 30, FN: 40}
+	a.Merge(b)
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 {
+		t.Fatalf("%+v", a)
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if ap := AveragePrecision(scores, labels); !eq(ap, 1) {
+		t.Fatalf("perfect ranking AP = %v", ap)
+	}
+}
+
+func TestAveragePrecisionWorst(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{false, false, true, true}
+	// Positives at ranks 3 and 4: AP = (1/3 + 2/4)/2.
+	want := (1.0/3 + 0.5) / 2
+	if ap := AveragePrecision(scores, labels); !eq(ap, want) {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+}
+
+func TestAveragePrecisionNoPositives(t *testing.T) {
+	if ap := AveragePrecision([]float64{0.5}, []bool{false}); ap != 0 {
+		t.Fatalf("AP = %v", ap)
+	}
+}
+
+func TestAveragePrecisionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AveragePrecision([]float64{1}, []bool{true, false})
+}
+
+func TestAveragePrecisionBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		for i, r := range raw {
+			scores[i] = float64(r%100) / 100
+			labels[i] = r%3 == 0
+		}
+		ap := AveragePrecision(scores, labels)
+		return ap >= 0 && ap <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateThreshold(t *testing.T) {
+	scores := []float64{0.1, 0.6, 0.9}
+	labels := []bool{false, true, true}
+	c := Evaluate(scores, labels, 0.5)
+	if c.TP != 2 || c.TN != 1 || c.FP != 0 || c.FN != 0 {
+		t.Fatalf("%+v", c)
+	}
+	c = Evaluate(scores, labels, 0.7)
+	if c.TP != 1 || c.FN != 1 {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestBestFBetaThreshold(t *testing.T) {
+	// Separable data: the best threshold must classify perfectly.
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{false, false, true, true}
+	th, f := BestFBetaThreshold(scores, labels, 2)
+	if !eq(f, 1) {
+		t.Fatalf("best F2 = %v at %v", f, th)
+	}
+	c := Evaluate(scores, labels, th)
+	if c.FP != 0 || c.FN != 0 {
+		t.Fatalf("best threshold misclassifies: %+v", c)
+	}
+}
+
+func TestBestFBetaThresholdEmpty(t *testing.T) {
+	th, f := BestFBetaThreshold(nil, nil, 2)
+	if th != 0.5 || f != 0 {
+		t.Fatalf("empty input: %v %v", th, f)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !eq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+}

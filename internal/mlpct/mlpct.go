@@ -1,0 +1,158 @@
+// Package mlpct implements the MLPCT exploration algorithm of §5.3: PCT
+// proposes candidate schedules for a CTI, the PIC predictor scores each
+// candidate's CT graph, a selection strategy (§3.3) decides which
+// candidates are interesting, and only those receive dynamic executions.
+// The plain PCT explorer (SKI's baseline) is included for comparison.
+package mlpct
+
+import (
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/predictor"
+	"snowcat/internal/race"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+)
+
+// Prediction runs one model inference and packages it for the selection
+// strategies: thresholded labels plus raw scores.
+func Prediction(pred predictor.Predictor, g *ctgraph.Graph) strategy.Prediction {
+	scores := pred.Score(g)
+	th := pred.Threshold()
+	labels := make([]bool, len(scores))
+	for i, s := range scores {
+		labels[i] = s >= th
+	}
+	return strategy.Prediction{Labels: labels, Scores: scores}
+}
+
+// Options bounds one per-CTI exploration (§5.3.1 uses ExecBudget=50,
+// InferenceCap=1600).
+type Options struct {
+	ExecBudget   int
+	InferenceCap int
+}
+
+// DefaultOptions mirrors the paper's §5.3.1 configuration.
+func DefaultOptions() Options { return Options{ExecBudget: 50, InferenceCap: 1600} }
+
+// Outcome reports one per-CTI exploration.
+type Outcome struct {
+	Results    []*ski.Result  // dynamic executions actually performed
+	Schedules  []ski.Schedule // the schedule of each result
+	Proposed   int            // schedules proposed by the sampler
+	Inferences int            // model inferences performed (MLPCT only)
+	BugsHit    []int32        // planted bugs triggered, deduplicated
+}
+
+// addResult appends a result and folds in its bug hits.
+func (o *Outcome) addResult(res *ski.Result, sched ski.Schedule) {
+	o.Results = append(o.Results, res)
+	o.Schedules = append(o.Schedules, sched)
+	for _, b := range res.BugsHit {
+		found := false
+		for _, x := range o.BugsHit {
+			if x == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			o.BugsHit = append(o.BugsHit, b)
+		}
+	}
+}
+
+// UniqueRaces returns the number of unique potential data races across the
+// outcome's executions (the per-CTI Data-race-coverage of §5.3).
+func (o *Outcome) UniqueRaces() int {
+	set := race.NewSet()
+	for _, res := range o.Results {
+		set.Add(race.Detect(res))
+	}
+	return set.Size()
+}
+
+// ScheduleDependentBlocks returns the number of unique blocks covered in
+// the outcome's concurrent executions excluding all SCBs of the CT —
+// §5.3's schedule-dependent block coverage metric.
+func (o *Outcome) ScheduleDependentBlocks(pa, pb *syz.Profile) int {
+	if len(o.Results) == 0 {
+		return 0
+	}
+	seen := make(map[int32]bool)
+	for _, res := range o.Results {
+		for id, c := range res.Covered {
+			if c && !pa.Covered[id] && !pb.Covered[id] {
+				seen[int32(id)] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Explorer runs per-CTI interleaving exploration on one kernel.
+type Explorer struct {
+	K       *kernel.Kernel
+	Builder *ctgraph.Builder
+	Opts    Options
+}
+
+// NewExplorer creates an explorer with the given options.
+func NewExplorer(k *kernel.Kernel, b *ctgraph.Builder, opts Options) *Explorer {
+	return &Explorer{K: k, Builder: b, Opts: opts}
+}
+
+// ExplorePCT is the SKI baseline: execute the first ExecBudget unique
+// PCT-sampled schedules of the CTI.
+func (e *Explorer) ExplorePCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) (*Outcome, error) {
+	sampler := ski.NewSampler(pa, pb, seed)
+	seen := make(map[string]bool)
+	out := &Outcome{}
+	for len(out.Results) < e.Opts.ExecBudget {
+		sched, ok := sampler.NextUnique(seen, 50)
+		if !ok {
+			break // interleaving space exhausted
+		}
+		out.Proposed++
+		res, err := ski.Execute(e.K, cti, sched)
+		if err != nil {
+			return nil, err
+		}
+		out.addResult(res, sched)
+	}
+	return out, nil
+}
+
+// ExploreMLPCT is the model-guided variant: PCT proposals are scored by
+// the predictor and filtered by the strategy; only selected candidates are
+// executed. The walk stops when the execution budget is exhausted, the
+// inference cap is hit, or the sampler runs dry (§5.3.2 observes S2 often
+// exhausts the inference cap before the execution budget).
+func (e *Explorer) ExploreMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
+	pred predictor.Predictor, strat strategy.Strategy) (*Outcome, error) {
+
+	sampler := ski.NewSampler(pa, pb, seed)
+	seen := make(map[string]bool)
+	out := &Outcome{}
+	for len(out.Results) < e.Opts.ExecBudget && out.Inferences < e.Opts.InferenceCap {
+		sched, ok := sampler.NextUnique(seen, 50)
+		if !ok {
+			break
+		}
+		out.Proposed++
+		g := e.Builder.Build(cti, pa, pb, sched)
+		p := Prediction(pred, g)
+		out.Inferences++
+		if !strategy.Select(strat, g, p) {
+			continue // fruitless candidate: skip the dynamic execution
+		}
+		res, err := ski.Execute(e.K, cti, sched)
+		if err != nil {
+			return nil, err
+		}
+		out.addResult(res, sched)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package mlpct
+
+import (
+	"testing"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+	"snowcat/internal/predictor"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+)
+
+type fixture struct {
+	k   *kernel.Kernel
+	gen *syz.Generator
+	exp *Explorer
+}
+
+func newFixture(t *testing.T, seed uint64, opts Options) *fixture {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(seed))
+	return &fixture{
+		k:   k,
+		gen: syz.NewGenerator(k, seed+1),
+		exp: NewExplorer(k, ctgraph.NewBuilder(k, cfg.Build(k)), opts),
+	}
+}
+
+func (f *fixture) cti(t *testing.T, id int64) (ski.CTI, *syz.Profile, *syz.Profile) {
+	t.Helper()
+	a, b := f.gen.Generate(), f.gen.Generate()
+	pa, err := syz.Run(f.k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(f.k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ski.CTI{ID: id, A: a, B: b}, pa, pb
+}
+
+func TestExplorePCTRespectsBudget(t *testing.T) {
+	f := newFixture(t, 1, Options{ExecBudget: 10, InferenceCap: 100})
+	cti, pa, pb := f.cti(t, 1)
+	out, err := f.exp.ExplorePCT(cti, pa, pb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) > 10 {
+		t.Fatalf("executed %d > budget", len(out.Results))
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no executions")
+	}
+	if out.Inferences != 0 {
+		t.Fatal("PCT must not use the model")
+	}
+	if len(out.Schedules) != len(out.Results) {
+		t.Fatal("schedule/result mismatch")
+	}
+}
+
+func TestExploreMLPCTRespectsCaps(t *testing.T) {
+	f := newFixture(t, 3, Options{ExecBudget: 5, InferenceCap: 20})
+	cti, pa, pb := f.cti(t, 2)
+	out, err := f.exp.ExploreMLPCT(cti, pa, pb, 4, predictor.AllPos{}, strategy.NewS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) > 5 {
+		t.Fatalf("executed %d > budget", len(out.Results))
+	}
+	if out.Inferences > 20 {
+		t.Fatalf("inferences %d > cap", out.Inferences)
+	}
+	if out.Inferences == 0 {
+		t.Fatal("MLPCT must run inferences")
+	}
+}
+
+func TestMLPCTSkipsBoringCandidates(t *testing.T) {
+	// With AllPos, every candidate has the same predicted bitmap per CTI
+	// graph... but S1 keys on the predicted set, which includes all
+	// vertices, identical across schedules of the same CTI — so only the
+	// first candidate of each distinct vertex set is executed.
+	f := newFixture(t, 5, Options{ExecBudget: 10, InferenceCap: 50})
+	cti, pa, pb := f.cti(t, 3)
+	out, err := f.exp.ExploreMLPCT(cti, pa, pb, 6, predictor.AllPos{}, strategy.NewS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) > 2 {
+		t.Fatalf("AllPos+S1 should collapse to ~1 execution, got %d", len(out.Results))
+	}
+	if out.Inferences <= len(out.Results) {
+		t.Fatal("should have skipped some candidates")
+	}
+}
+
+func TestOutcomeMetrics(t *testing.T) {
+	f := newFixture(t, 7, Options{ExecBudget: 15, InferenceCap: 100})
+	cti, pa, pb := f.cti(t, 4)
+	out, err := f.exp.ExplorePCT(cti, pa, pb, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := out.UniqueRaces()
+	if races < 0 {
+		t.Fatal("negative races")
+	}
+	sdb := out.ScheduleDependentBlocks(pa, pb)
+	if sdb < 0 {
+		t.Fatal("negative schedule-dependent blocks")
+	}
+	// Schedule-dependent blocks must exclude all SCBs.
+	for _, res := range out.Results {
+		_ = res
+	}
+	if (&Outcome{}).ScheduleDependentBlocks(pa, pb) != 0 {
+		t.Fatal("empty outcome should report zero")
+	}
+}
+
+func TestExplorersDeterministic(t *testing.T) {
+	f := newFixture(t, 9, Options{ExecBudget: 8, InferenceCap: 60})
+	cti, pa, pb := f.cti(t, 5)
+	o1, err := f.exp.ExplorePCT(cti, pa, pb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := f.exp.ExplorePCT(cti, pa, pb, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1.Results) != len(o2.Results) || o1.UniqueRaces() != o2.UniqueRaces() {
+		t.Fatal("PCT exploration not deterministic")
+	}
+}
+
+func TestMLPCTWithTrainedPIC(t *testing.T) {
+	// End-to-end: train a tiny PIC, then verify MLPCT selects a subset of
+	// candidates and still achieves nonzero coverage metrics.
+	f := newFixture(t, 11, Options{ExecBudget: 10, InferenceCap: 80})
+
+	m := pic.New(pic.Config{Dim: 10, Layers: 2, LR: 3e-3, Epochs: 1, Seed: 2, PosWeight: 8})
+	tc := pic.NewTokenCache(f.k, m.Vocab)
+	// Collect a handful of labelled examples for a quick train.
+	var exs []*pic.Example
+	for i := 0; i < 6; i++ {
+		cti, pa, pb := f.cti(t, int64(100+i))
+		sampler := ski.NewSampler(pa, pb, uint64(i))
+		for j := 0; j < 3; j++ {
+			sched := sampler.Next()
+			res, err := ski.Execute(f.k, cti, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := f.exp.Builder.Build(cti, pa, pb, sched)
+			exs = append(exs, &pic.Example{G: g, Y: ctgraph.Labels(g, res)})
+		}
+	}
+	if _, err := m.Train(exs, tc); err != nil {
+		t.Fatal(err)
+	}
+	m.Tune(exs, tc)
+
+	cti, pa, pb := f.cti(t, 6)
+	out, err := f.exp.ExploreMLPCT(cti, pa, pb, 7, predictor.NewPIC(m, tc, "PIC"), strategy.NewS1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Inferences == 0 {
+		t.Fatal("no inferences")
+	}
+	if out.Proposed < len(out.Results) {
+		t.Fatal("proposed < executed")
+	}
+}
+
+func TestBugsHitDeduplicated(t *testing.T) {
+	o := &Outcome{}
+	r := &ski.Result{BugsHit: []int32{1, 1, 2}}
+	o.addResult(r, ski.Schedule{})
+	o.addResult(&ski.Result{BugsHit: []int32{2, 3}}, ski.Schedule{})
+	if len(o.BugsHit) != 3 {
+		t.Fatalf("bugs = %v", o.BugsHit)
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.ExecBudget != 50 || o.InferenceCap != 1600 {
+		t.Fatalf("defaults %+v do not match §5.3.1", o)
+	}
+}
+
+func TestPredictionHelper(t *testing.T) {
+	f := newFixture(t, 21, Options{ExecBudget: 2, InferenceCap: 10})
+	cti, pa, pb := f.cti(t, 9)
+	g := f.exp.Builder.Build(cti, pa, pb, ski.NewSampler(pa, pb, 1).Next())
+	// AllPos has threshold 0.5 and scores 1 everywhere.
+	p := Prediction(predictor.AllPos{}, g)
+	if len(p.Labels) != len(g.Vertices) || len(p.Scores) != len(g.Vertices) {
+		t.Fatal("prediction size mismatch")
+	}
+	for i := range p.Labels {
+		if !p.Labels[i] || p.Scores[i] != 1 {
+			t.Fatal("AllPos prediction wrong")
+		}
+	}
+}

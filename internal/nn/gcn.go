@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+
+	"snowcat/internal/tensor"
+	"snowcat/internal/xrand"
+)
+
+// EdgePair is one directed edge in a relational graph.
+type EdgePair struct {
+	Src, Dst int32
+}
+
+// RelGraph is the adjacency structure a GCNLayer consumes: edges bucketed
+// by relation, with per-destination inverse-in-degree normalisation. A CT
+// graph's typed edges become relations 0..T-1; the reversed edges become
+// relations T..2T-1, so information flows both ways while the model can
+// still distinguish direction (e.g. writer→reader in a data-flow edge).
+type RelGraph struct {
+	NumNodes int
+	Rel      [][]EdgePair // per relation
+	Norm     [][]float64  // per relation: 1/in-degree of each node
+}
+
+// NewRelGraph builds a RelGraph with numRel relations over numNodes nodes.
+func NewRelGraph(numNodes, numRel int) *RelGraph {
+	return &RelGraph{
+		NumNodes: numNodes,
+		Rel:      make([][]EdgePair, numRel),
+		Norm:     make([][]float64, numRel),
+	}
+}
+
+// AddEdge inserts a directed edge under relation r.
+func (g *RelGraph) AddEdge(r int, src, dst int32) {
+	g.Rel[r] = append(g.Rel[r], EdgePair{Src: src, Dst: dst})
+}
+
+// Finalize computes the normalisation terms; call after all AddEdge calls.
+func (g *RelGraph) Finalize() {
+	for r := range g.Rel {
+		deg := make([]float64, g.NumNodes)
+		for _, e := range g.Rel[r] {
+			deg[e.Dst]++
+		}
+		norm := make([]float64, g.NumNodes)
+		for i, d := range deg {
+			if d > 0 {
+				norm[i] = 1 / d
+			}
+		}
+		g.Norm[r] = norm
+	}
+}
+
+// NumRel returns the relation count.
+func (g *RelGraph) NumRel() int { return len(g.Rel) }
+
+// GCNLayer is one relational graph-convolution layer:
+//
+//	Z = H·Wself + Σ_r (Â_r·H)·W_r + b,   H' = ReLU(Z)
+//
+// where Â_r is the in-degree-normalised adjacency of relation r. This is
+// the GCN family the paper uses (§4, PyTorch-Geometric GCN), extended with
+// per-relation weights so the five CT edge types (plus shortcut edges and
+// reverse directions) carry distinct semantics.
+type GCNLayer struct {
+	In, Out int
+	WSelf   *Param
+	WRel    []*Param
+	B       *Param
+
+	// forward caches for the backward pass
+	h    *tensor.Matrix   // input
+	agg  []*tensor.Matrix // per relation: Â_r·H
+	mask *tensor.Matrix   // ReLU activation mask
+}
+
+// NewGCNLayer creates a layer with numRel relation weight matrices.
+func NewGCNLayer(name string, in, out, numRel int, rng *xrand.RNG) *GCNLayer {
+	l := &GCNLayer{
+		In: in, Out: out,
+		WSelf: NewParam(name+".Wself", in, out, rng),
+		B:     NewParam(name+".b", 1, out, nil),
+	}
+	for r := 0; r < numRel; r++ {
+		l.WRel = append(l.WRel, NewParam(fmt.Sprintf("%s.Wrel%d", name, r), in, out, rng))
+	}
+	return l
+}
+
+// Params returns all learnable parameters of the layer.
+func (l *GCNLayer) Params() []*Param {
+	ps := []*Param{l.WSelf, l.B}
+	ps = append(ps, l.WRel...)
+	return ps
+}
+
+// Forward computes H' for graph g with node features h (NumNodes×In),
+// caching intermediates for Backward. Returns a freshly allocated output.
+func (l *GCNLayer) Forward(g *RelGraph, h *tensor.Matrix) *tensor.Matrix {
+	n := g.NumNodes
+	l.h = h
+	out := tensor.New(n, l.Out)
+	// Self term.
+	tensor.MulInto(out, h, l.WSelf.Matrix())
+	out.AddRowVec(l.B.Val)
+	// Relation terms.
+	if cap(l.agg) < len(l.WRel) {
+		l.agg = make([]*tensor.Matrix, len(l.WRel))
+	}
+	l.agg = l.agg[:len(l.WRel)]
+	for r := range l.WRel {
+		if r >= g.NumRel() {
+			l.agg[r] = nil
+			continue
+		}
+		agg := tensor.New(n, l.In)
+		for _, e := range g.Rel[r] {
+			tensor.AXPY(g.Norm[r][e.Dst], h.Row(int(e.Src)), agg.Row(int(e.Dst)))
+		}
+		l.agg[r] = agg
+		tensor.MulAddInto(out, agg, l.WRel[r].Matrix())
+	}
+	l.mask = tensor.New(n, l.Out)
+	out.ReLUInPlace(l.mask)
+	return out
+}
+
+// Backward consumes the loss gradient w.r.t. this layer's output and
+// returns the gradient w.r.t. its input, accumulating parameter gradients.
+// dout is modified in place (masked).
+func (l *GCNLayer) Backward(g *RelGraph, dout *tensor.Matrix) *tensor.Matrix {
+	dout.MulMaskInPlace(l.mask)
+	dz := dout
+	// Bias and self weights.
+	dz.ColSumInto(l.B.Grad)
+	tensor.MulATBAddInto(l.WSelf.GradMatrix(), l.h, dz)
+	dh := tensor.New(l.h.Rows, l.In)
+	tensor.MulABTAddInto(dh, dz, l.WSelf.Matrix())
+	// Relation weights and scatter-backward through the aggregation.
+	dagg := tensor.New(l.h.Rows, l.In)
+	for r := range l.WRel {
+		if r >= g.NumRel() || l.agg[r] == nil {
+			continue
+		}
+		tensor.MulATBAddInto(l.WRel[r].GradMatrix(), l.agg[r], dz)
+		dagg.Zero()
+		tensor.MulABTAddInto(dagg, dz, l.WRel[r].Matrix())
+		for _, e := range g.Rel[r] {
+			tensor.AXPY(g.Norm[r][e.Dst], dagg.Row(int(e.Dst)), dh.Row(int(e.Src)))
+		}
+	}
+	return dh
+}

@@ -1,0 +1,198 @@
+package pic
+
+import (
+	"testing"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/race"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// collectFlowExamples gathers flow-labelled examples the same way dataset
+// collection does, without the import cycle.
+func collectFlowExamples(t *testing.T, k *kernel.Kernel, seed uint64, ctis, inter int) []*FlowExample {
+	t.Helper()
+	gen := syz.NewGenerator(k, seed)
+	builder := ctgraph.NewBuilder(k, cfg.Build(k))
+	var out []*FlowExample
+	for i := 0; i < ctis; i++ {
+		a, b := gen.Generate(), gen.Generate()
+		cti := ski.CTI{ID: int64(i), A: a, B: b}
+		pa, err := syz.Run(k, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := syz.Run(k, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler := ski.NewSampler(pa, pb, seed+uint64(i))
+		for j := 0; j < inter; j++ {
+			sched := sampler.Next()
+			res, err := ski.Execute(k, cti, sched)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := builder.Build(cti, pa, pb, sched)
+			out = append(out, &FlowExample{G: g, YFlow: ctgraph.FlowLabels(g, res, race.DefaultWindow)})
+		}
+	}
+	return out
+}
+
+func TestFlowLabelsAligned(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(61))
+	exs := collectFlowExamples(t, k, 62, 10, 3)
+	anyEdges, anyPos := false, false
+	for _, ex := range exs {
+		idx := ex.G.InterDFEdges()
+		if len(ex.YFlow) != len(idx) {
+			t.Fatalf("labels %d != edges %d", len(ex.YFlow), len(idx))
+		}
+		if len(idx) > 0 {
+			anyEdges = true
+		}
+		for _, y := range ex.YFlow {
+			if y {
+				anyPos = true
+			}
+		}
+		// Every labelled edge must be an InterDF edge.
+		for _, ei := range idx {
+			if ex.G.Edges[ei].Type != ctgraph.InterDF {
+				t.Fatal("InterDFEdges returned a non-InterDF edge")
+			}
+		}
+	}
+	if !anyEdges {
+		t.Fatal("no InterDF edges in any graph")
+	}
+	if !anyPos {
+		t.Fatal("no realised flow anywhere; labels degenerate")
+	}
+}
+
+func TestFlowLabelsRespectOrderAndWindow(t *testing.T) {
+	// Hand-built result: write at step 10 in block 1, read at step 20 in
+	// block 2 on the same address.
+	k := kernel.Generate(kernel.SmallConfig(63))
+	exs := collectFlowExamples(t, k, 64, 4, 2)
+	var ex *FlowExample
+	for _, e := range exs {
+		if len(e.G.InterDFEdges()) > 0 {
+			ex = e
+			break
+		}
+	}
+	if ex == nil {
+		t.Skip("no InterDF edges")
+	}
+	idx := ex.G.InterDFEdges()
+	e := ex.G.Edges[idx[0]]
+	src := ex.G.Vertices[e.From].Block
+	dst := ex.G.Vertices[e.To].Block
+
+	mk := func(wStep, rStep int) []bool {
+		res := &ski.Result{}
+		res.Accesses[0] = []syz.Access{{Ref: refAt(src), Write: true, Addr: 7, Step: wStep}}
+		res.Accesses[1] = []syz.Access{{Ref: refAt(dst), Write: false, Addr: 7, Step: rStep}}
+		return ctgraph.FlowLabels(ex.G, res, 50)
+	}
+	if !mk(10, 20)[0] {
+		t.Fatal("in-window write-before-read not realised")
+	}
+	if mk(20, 10)[0] {
+		t.Fatal("read-before-write counted as realised")
+	}
+	if mk(10, 100)[0] {
+		t.Fatal("out-of-window flow counted as realised")
+	}
+}
+
+func refAt(block int32) sim.InstrRef { return sim.InstrRef{Block: block} }
+
+func TestTrainDFLearns(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(7))
+	m := New(tinyCfg(65))
+	tc := NewTokenCache(k, m.Vocab)
+	trainExs := collectFlowExamples(t, k, 66, 25, 6)
+	evalExs := collectFlowExamples(t, k, 67, 10, 6)
+
+	losses, err := m.TrainDF(trainExs, tc, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 3 {
+		t.Fatalf("losses = %v", losses)
+	}
+	if losses[2] >= losses[0] {
+		t.Fatalf("DF loss did not decrease: %v", losses)
+	}
+	ap, base, graphs := m.EvaluateFlows(evalExs, tc)
+	if graphs == 0 {
+		t.Fatal("no graphs with realised flows")
+	}
+	if ap <= base {
+		t.Fatalf("flow AP %.3f not above base rate %.3f", ap, base)
+	}
+}
+
+func TestPredictFlowsShape(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(69))
+	m := New(tinyCfg(70))
+	tc := NewTokenCache(k, m.Vocab)
+	exs := collectFlowExamples(t, k, 71, 4, 2)
+	for _, ex := range exs {
+		probs := m.PredictFlows(ex.G, tc)
+		if len(probs) != len(ex.G.InterDFEdges()) {
+			t.Fatal("prediction misaligned")
+		}
+		for _, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("probability %v", p)
+			}
+		}
+	}
+}
+
+func TestDFHeadSurvivesSerialisation(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(73))
+	m := New(tinyCfg(72))
+	tc := NewTokenCache(k, m.Vocab)
+	exs := collectFlowExamples(t, k, 74, 4, 2)
+	if _, err := m.TrainDF(exs, tc, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.DFHead == nil {
+		t.Fatal("DF head lost")
+	}
+	p1 := m.PredictFlows(exs[0].G, tc)
+	p2 := m2.PredictFlows(exs[0].G, NewTokenCache(k, m2.Vocab))
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("DF predictions differ after round trip")
+		}
+	}
+}
+
+func TestEnsureDFHeadIdempotent(t *testing.T) {
+	m := New(tinyCfg(75))
+	m.EnsureDFHead()
+	h := m.DFHead
+	m.EnsureDFHead()
+	if m.DFHead != h {
+		t.Fatal("EnsureDFHead replaced an existing head")
+	}
+}

@@ -1,0 +1,58 @@
+package pic
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// Encode serialises the model (architecture, weights, vocabulary, tuned
+// threshold) with encoding/gob. Training caches are not serialised.
+func (m *Model) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("pic: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reconstructs a model serialised by Encode.
+func Decode(data []byte) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("pic: decode: %w", err)
+	}
+	if m.Vocab != nil {
+		m.Vocab.Rebind()
+	}
+	return &m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a model written by SaveFile.
+func LoadFile(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pic: load: %w", err)
+	}
+	return Decode(data)
+}
+
+// Clone returns a deep copy of the model via serialisation; used to fork a
+// base model before fine-tuning variants (§5.4's PIC-6.ft.* family).
+func (m *Model) Clone() (*Model, error) {
+	data, err := m.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

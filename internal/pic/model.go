@@ -1,0 +1,390 @@
+// Package pic implements the Per-Interleaving Coverage predictor — the
+// paper's core contribution (§3.2).
+//
+// The model takes a CT graph (package ctgraph) and predicts, for every
+// vertex (kernel basic block), the probability that the block is covered
+// when the concurrent test executes. Architecture, mirroring the paper:
+//
+//  1. an assembly encoder (nn.AsmEncoder, the RoBERTa substitute) embeds
+//     each block's tokenised assembly;
+//  2. learnable type embeddings for the 2 vertex types are added;
+//  3. a stack of relational GCN layers propagates information along the
+//     typed edges (each of the 6 edge types contributes a forward and a
+//     reverse relation, 12 in total);
+//  4. a linear head produces a per-vertex logit, trained with binary
+//     cross-entropy against observed concurrent coverage.
+//
+// A tuned threshold (max mean F2 over URBs on the validation split,
+// §5.1.2) converts probabilities to COVERED/UNCOVERED decisions.
+package pic
+
+import (
+	"fmt"
+	"math"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kasm"
+	"snowcat/internal/kernel"
+	"snowcat/internal/nn"
+	"snowcat/internal/tensor"
+	"snowcat/internal/xrand"
+)
+
+// Config holds the PIC hyperparameters (§A.2 explores these; the defaults
+// here are the scaled-down equivalents of PIC-5's winning set).
+type Config struct {
+	Dim    int     // embedding and hidden width
+	Layers int     // GCN depth; deeper sees farther in the graph (§5.1.2)
+	LR     float64 // Adam learning rate
+	Epochs int     // training epochs
+	Seed   uint64  // parameter initialisation seed
+	// PosWeight scales the loss of positive vertices. The paper's graphs
+	// carry ~26 positive URBs each (§5.1.1) so plain BCE suffices there;
+	// our scaled-down graphs carry <1, and without reweighting the model
+	// collapses to the all-negative predictor (documented in DESIGN.md).
+	PosWeight float64
+}
+
+// DefaultConfig is the standard training configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{Dim: 24, Layers: 3, LR: 3e-3, Epochs: 3, Seed: seed, PosWeight: 8}
+}
+
+// NumRelations is the GCN relation count: forward + reverse per edge type.
+const NumRelations = 2 * ctgraph.NumEdgeTypes
+
+// BaseVocab enumerates the full assembly token universe of the kasm ISA.
+// The vocabulary is ISA-determined rather than kernel-determined, so one
+// encoder serves every kernel version (the paper pre-trains BERT once for
+// the same reason, §3.2).
+func BaseVocab() *nn.Vocab {
+	var toks []string
+	for op := kasm.OpNop; op <= kasm.OpBug; op++ {
+		toks = append(toks, op.String())
+	}
+	for r := 0; r < kasm.NumRegs; r++ {
+		toks = append(toks, fmt.Sprintf("r%d", r))
+	}
+	toks = append(toks, "imm", "[g]", "b", "f", "l")
+	return nn.BuildVocab(toks)
+}
+
+// TokenCache holds the tokenised assembly of every block of one kernel,
+// precomputed once per kernel version.
+type TokenCache struct {
+	IDs [][]int
+}
+
+// NewTokenCache tokenises kernel k under vocabulary v.
+func NewTokenCache(k *kernel.Kernel, v *nn.Vocab) *TokenCache {
+	c := &TokenCache{IDs: make([][]int, k.NumBlocks())}
+	for i, b := range k.Blocks {
+		c.IDs[i] = v.IDs(b.TokenText())
+	}
+	return c
+}
+
+// Model is the PIC predictor. All fields are exported for gob
+// serialisation; Threshold is set by Tune after training.
+//
+// Beyond the paper's architecture, the model adds two schedule-context
+// features: hint-role embeddings (is a vertex the source/target of a
+// scheduling-hint edge) and a broadcast hint-context vector (a learned
+// transform of the hint blocks' assembly embeddings added to every
+// vertex). The paper's full-scale graphs carry the schedule far via deep
+// GNNs over shortcut-densified graphs; at this reproduction's scale these
+// features restore the same property — every vertex's prediction depends
+// on the candidate schedule — without a deeper (slower) network. See
+// DESIGN.md §5.
+type Model struct {
+	Cfg       Config
+	Vocab     *nn.Vocab
+	Enc       *nn.AsmEncoder
+	VType     *nn.Embedding // vertex-type embeddings (SCB/URB)
+	HintRole  *nn.Embedding // none / hint-source / hint-target
+	HintPos   *nn.Embedding // bucketed hint trace positions (per hint slot)
+	HintCtx   *nn.Dense     // broadcast schedule-context transform
+	GCN       []*nn.GCNLayer
+	Head      *nn.Dense
+	Threshold float64
+	// DFHead is the §6 inter-thread data-flow prediction head (see
+	// dataflow.go); nil until EnsureDFHead or TrainDF is called.
+	DFHead *nn.Dense
+}
+
+// Hint-role embedding indices.
+const (
+	hintNone = iota
+	hintSrc
+	hintDst
+	numHintRoles
+)
+
+// Hint-position bucketing: each of the first maxHintSlots hints gets its
+// trace-position fraction quantised into posBuckets embedding rows.
+const (
+	posBuckets   = 32
+	maxHintSlots = 2
+)
+
+// posBucket maps a hint slot and trace fraction to an embedding row.
+func posBucket(slot int, frac float64) int {
+	b := int(frac * posBuckets)
+	if b < 0 {
+		b = 0
+	}
+	if b >= posBuckets {
+		b = posBuckets - 1
+	}
+	return slot*posBuckets + b
+}
+
+// New creates an untrained model.
+func New(cfg Config) *Model {
+	rng := xrand.New(cfg.Seed)
+	v := BaseVocab()
+	m := &Model{
+		Cfg:       cfg,
+		Vocab:     v,
+		Enc:       nn.NewAsmEncoder(v, cfg.Dim, rng.SplitNamed("enc")),
+		VType:     nn.NewEmbedding("vtype", ctgraph.NumVertexTypes, cfg.Dim, rng.SplitNamed("vtype")),
+		HintRole:  nn.NewEmbedding("hintrole", numHintRoles, cfg.Dim, rng.SplitNamed("hintrole")),
+		HintPos:   nn.NewEmbedding("hintpos", maxHintSlots*posBuckets, cfg.Dim, rng.SplitNamed("hintpos")),
+		HintCtx:   nn.NewDense("hintctx", cfg.Dim, cfg.Dim, rng.SplitNamed("hintctx")),
+		Head:      nn.NewDense("head", cfg.Dim, 1, rng.SplitNamed("head")),
+		Threshold: 0.5,
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		m.GCN = append(m.GCN, nn.NewGCNLayer(fmt.Sprintf("gcn%d", l),
+			cfg.Dim, cfg.Dim, NumRelations, rng.SplitNamed(fmt.Sprintf("gcn%d", l))))
+	}
+	return m
+}
+
+// Params returns every learnable parameter.
+func (m *Model) Params() []*nn.Param {
+	ps := m.Enc.Params()
+	ps = append(ps, m.VType.Params()...)
+	ps = append(ps, m.HintRole.Params()...)
+	ps = append(ps, m.HintPos.Params()...)
+	ps = append(ps, m.HintCtx.Params()...)
+	for _, l := range m.GCN {
+		ps = append(ps, l.Params()...)
+	}
+	ps = append(ps, m.Head.Params()...)
+	return ps
+}
+
+// NumParams returns the total parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.NumValues()
+	}
+	return n
+}
+
+// relGraph converts a CT graph into the GCN adjacency: relation t carries
+// the forward edges of edge type t, relation NumEdgeTypes+t the reverses.
+func relGraph(g *ctgraph.Graph) *nn.RelGraph {
+	rg := nn.NewRelGraph(len(g.Vertices), NumRelations)
+	for _, e := range g.Edges {
+		rg.AddEdge(int(e.Type), e.From, e.To)
+		rg.AddEdge(ctgraph.NumEdgeTypes+int(e.Type), e.To, e.From)
+	}
+	rg.Finalize()
+	return rg
+}
+
+// featCache carries the feature-assembly intermediates the backward pass
+// needs: per-vertex hint roles and the schedule-context path.
+type featCache struct {
+	roles      []int          // hint role per vertex
+	hintTokens [][]int        // token lists of the hint source blocks
+	posRows    []int          // HintPos embedding rows used
+	ctx        *tensor.Matrix // 1×Dim schedule-context input
+	ctxOut     *tensor.Matrix // 1×Dim HintCtx output broadcast to all rows
+	hasCtx     bool
+}
+
+// features assembles the input node-feature matrix: block embedding,
+// vertex-type embedding, hint-role embedding, and the broadcast
+// schedule-context vector.
+func (m *Model) features(g *ctgraph.Graph, tc *TokenCache) (*tensor.Matrix, *featCache) {
+	n := len(g.Vertices)
+	dim := m.Cfg.Dim
+	fc := &featCache{roles: make([]int, n)}
+	for _, e := range g.Edges {
+		if e.Type == ctgraph.Hint {
+			fc.roles[e.From] = hintSrc
+			if fc.roles[e.To] == hintNone {
+				fc.roles[e.To] = hintDst
+			}
+		}
+	}
+
+	// Schedule context: mean assembly embedding of the hint source blocks
+	// plus bucketed trace-position embeddings (when each yield happens),
+	// transformed and added to every vertex.
+	fc.ctx = tensor.New(1, dim)
+	fc.ctxOut = tensor.New(1, dim)
+	for _, h := range g.Sched.Hints {
+		if vi := g.VertexOf(h.Ref.Block); vi >= 0 {
+			fc.hintTokens = append(fc.hintTokens, tc.IDs[g.Vertices[vi].Block])
+		}
+	}
+	for slot, frac := range g.HintFrac {
+		if slot >= maxHintSlots || frac < 0 {
+			continue
+		}
+		fc.posRows = append(fc.posRows, posBucket(slot, frac))
+	}
+	if len(fc.hintTokens) > 0 || len(fc.posRows) > 0 {
+		fc.hasCtx = true
+		if len(fc.hintTokens) > 0 {
+			tmp := make([]float64, dim)
+			inv := 1 / float64(len(fc.hintTokens))
+			for _, toks := range fc.hintTokens {
+				m.Enc.EncodeInto(toks, tmp)
+				tensor.AXPY(inv, tmp, fc.ctx.Row(0))
+			}
+		}
+		for _, row := range fc.posRows {
+			tensor.AXPY(1, m.HintPos.Row(row), fc.ctx.Row(0))
+		}
+		m.HintCtx.Forward(fc.ctx, fc.ctxOut)
+	}
+
+	x := tensor.New(n, dim)
+	ctxRow := fc.ctxOut.Row(0)
+	for i, v := range g.Vertices {
+		row := x.Row(i)
+		m.Enc.EncodeInto(tc.IDs[v.Block], row)
+		tensor.AXPY(1, m.VType.Row(int(v.Type)), row)
+		tensor.AXPY(1, m.HintRole.Row(fc.roles[i]), row)
+		tensor.AXPY(1, ctxRow, row)
+	}
+	return x, fc
+}
+
+// backwardFeatures propagates the input-feature gradient dh into the
+// encoder, type/role embeddings, and the schedule-context path.
+func (m *Model) backwardFeatures(g *ctgraph.Graph, tc *TokenCache, fc *featCache, dh *tensor.Matrix) {
+	dim := m.Cfg.Dim
+	dctxOut := tensor.New(1, dim)
+	for i, v := range g.Vertices {
+		grad := dh.Row(i)
+		m.Enc.Emb.AccumulateMeanGrad(tc.IDs[v.Block], grad)
+		m.VType.AccumulateRowGrad(int(v.Type), grad)
+		m.HintRole.AccumulateRowGrad(fc.roles[i], grad)
+		tensor.AXPY(1, grad, dctxOut.Row(0))
+	}
+	if !fc.hasCtx {
+		return
+	}
+	dctx := tensor.New(1, dim)
+	m.HintCtx.Backward(fc.ctx, dctxOut, dctx)
+	for _, row := range fc.posRows {
+		m.HintPos.AccumulateRowGrad(row, dctx.Row(0))
+	}
+	if len(fc.hintTokens) > 0 {
+		inv := 1 / float64(len(fc.hintTokens))
+		scaled := make([]float64, dim)
+		copy(scaled, dctx.Row(0))
+		for i := range scaled {
+			scaled[i] *= inv
+		}
+		for _, toks := range fc.hintTokens {
+			m.Enc.Emb.AccumulateMeanGrad(toks, scaled)
+		}
+	}
+}
+
+// forward runs the full model, returning the per-vertex logits and the
+// intermediates needed for backward.
+func (m *Model) forward(g *ctgraph.Graph, tc *TokenCache) (logits *tensor.Matrix, rg *nn.RelGraph, acts []*tensor.Matrix, fc *featCache) {
+	rg = relGraph(g)
+	h, fc := m.features(g, tc)
+	acts = append(acts, h)
+	for _, l := range m.GCN {
+		h = l.Forward(rg, h)
+		acts = append(acts, h)
+	}
+	logits = tensor.New(len(g.Vertices), 1)
+	m.Head.Forward(h, logits)
+	return logits, rg, acts, fc
+}
+
+// Predict returns the per-vertex covered probabilities for a CT graph.
+func (m *Model) Predict(g *ctgraph.Graph, tc *TokenCache) []float64 {
+	logits, _, _, _ := m.forward(g, tc)
+	out := make([]float64, logits.Rows)
+	for i := range out {
+		out[i] = tensor.Sigmoid(logits.At(i, 0))
+	}
+	return out
+}
+
+// PredictLabels thresholds Predict with the tuned threshold.
+func (m *Model) PredictLabels(g *ctgraph.Graph, tc *TokenCache) []bool {
+	probs := m.Predict(g, tc)
+	out := make([]bool, len(probs))
+	for i, p := range probs {
+		out[i] = p >= m.Threshold
+	}
+	return out
+}
+
+// trainStep accumulates gradients for one example and returns its mean BCE
+// loss. The caller applies the optimiser step.
+func (m *Model) trainStep(g *ctgraph.Graph, tc *TokenCache, y []bool) float64 {
+	logits, rg, acts, fc := m.forward(g, tc)
+	n := logits.Rows
+	if n == 0 {
+		return 0
+	}
+	// Class-weighted BCE loss and dL/dlogit = w·(sigma(z) - y) / n.
+	posW := m.Cfg.PosWeight
+	if posW <= 0 {
+		posW = 1
+	}
+	loss := 0.0
+	dlogits := tensor.New(n, 1)
+	inv := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		z := logits.At(i, 0)
+		p := tensor.Sigmoid(z)
+		t, w := 0.0, 1.0
+		if y[i] {
+			t, w = 1, posW
+		}
+		loss += w * bce(p, t)
+		dlogits.Set(i, 0, w*(p-t)*inv)
+	}
+	loss *= inv
+
+	// Backward through head and GCN stack.
+	last := acts[len(acts)-1]
+	dh := tensor.New(n, m.Cfg.Dim)
+	m.Head.Backward(last, dlogits, dh)
+	for l := len(m.GCN) - 1; l >= 0; l-- {
+		dh = m.GCN[l].Backward(rg, dh)
+	}
+	m.backwardFeatures(g, tc, fc, dh)
+	return loss
+}
+
+// bce is the numerically clamped binary cross-entropy of p against t.
+func bce(p, t float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	if t > 0.5 {
+		return -math.Log(p)
+	}
+	return -math.Log(1 - p)
+}

@@ -1,0 +1,116 @@
+// Package predictor defines the common coverage-predictor interface and
+// the §5.2.1 baseline predictors that Table 1 compares PIC against:
+//
+//	AllPos     — predicts every vertex positive (a naive static analysis);
+//	FairCoin   — positive with probability 50%;
+//	BiasedCoin — positive with the base rate of positive URBs observed in
+//	             the training data (1.1% in the paper's graphs).
+//
+// Baselines are deterministic: their "randomness" is derived from the
+// graph identity, so repeated evaluation of the same graph is stable.
+package predictor
+
+import (
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/pic"
+	"snowcat/internal/xrand"
+)
+
+// Predictor scores the vertices of a CT graph and carries the decision
+// threshold that converts scores to COVERED predictions.
+type Predictor interface {
+	// Score returns per-vertex positive probabilities.
+	Score(g *ctgraph.Graph) []float64
+	// Threshold is the operating point for binary decisions.
+	Threshold() float64
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Predict applies the predictor's threshold to its scores.
+func Predict(p Predictor, g *ctgraph.Graph) []bool {
+	scores := p.Score(g)
+	th := p.Threshold()
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s >= th
+	}
+	return out
+}
+
+// PIC adapts a trained pic.Model (plus its kernel token cache) to the
+// Predictor interface.
+type PIC struct {
+	Model *pic.Model
+	TC    *pic.TokenCache
+	Label string
+}
+
+// NewPIC wraps a trained model.
+func NewPIC(m *pic.Model, tc *pic.TokenCache, label string) *PIC {
+	if label == "" {
+		label = "PIC"
+	}
+	return &PIC{Model: m, TC: tc, Label: label}
+}
+
+func (p *PIC) Score(g *ctgraph.Graph) []float64 { return p.Model.Predict(g, p.TC) }
+func (p *PIC) Threshold() float64               { return p.Model.Threshold }
+func (p *PIC) Name() string                     { return p.Label }
+
+// AllPos predicts every vertex positive.
+type AllPos struct{}
+
+func (AllPos) Score(g *ctgraph.Graph) []float64 {
+	out := make([]float64, len(g.Vertices))
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+func (AllPos) Threshold() float64 { return 0.5 }
+func (AllPos) Name() string       { return "All pos" }
+
+// Coin predicts positive with probability P, deterministically derived
+// from the graph identity and vertex index.
+type Coin struct {
+	P    float64
+	Seed uint64
+	Tag  string
+}
+
+// FairCoin returns the 50% baseline.
+func FairCoin(seed uint64) *Coin { return &Coin{P: 0.5, Seed: seed, Tag: "Fair coin"} }
+
+// BiasedCoin returns the base-rate baseline.
+func BiasedCoin(rate float64, seed uint64) *Coin {
+	return &Coin{P: rate, Seed: seed, Tag: "Biased coin"}
+}
+
+func (c *Coin) Score(g *ctgraph.Graph) []float64 {
+	rng := xrand.New(c.Seed ^ uint64(g.CTI.ID)*0x9e3779b97f4a7c15 ^ hashSched(g))
+	out := make([]float64, len(g.Vertices))
+	for i := range out {
+		// Score above/below threshold with probability P; the magnitude
+		// is random so ranking metrics (AP) see a random ordering.
+		if rng.Bool(c.P) {
+			out[i] = 0.5 + 0.5*rng.Float64()
+		} else {
+			out[i] = 0.5 * rng.Float64()
+		}
+	}
+	return out
+}
+func (c *Coin) Threshold() float64 { return 0.5 }
+func (c *Coin) Name() string       { return c.Tag }
+
+// hashSched folds the schedule into the coin stream so different schedules
+// of one CTI flip differently.
+func hashSched(g *ctgraph.Graph) uint64 {
+	h := uint64(1469598103934665603)
+	for _, hint := range g.Sched.Hints {
+		h ^= uint64(uint32(hint.Ref.Block))<<8 ^ uint64(uint32(hint.Ref.Idx)) ^ uint64(hint.Thread)<<32
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,155 @@
+package predictor
+
+import (
+	"testing"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+func sampleGraphs(t *testing.T, seed uint64, n int) []*ctgraph.Graph {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(seed))
+	gen := syz.NewGenerator(k, seed+1)
+	builder := ctgraph.NewBuilder(k, cfg.Build(k))
+	var out []*ctgraph.Graph
+	for i := 0; i < n; i++ {
+		a, b := gen.Generate(), gen.Generate()
+		cti := ski.CTI{ID: int64(i), A: a, B: b}
+		pa, err := syz.Run(k, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := syz.Run(k, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := ski.NewSampler(pa, pb, seed+uint64(i)).Next()
+		out = append(out, builder.Build(cti, pa, pb, sched))
+	}
+	return out
+}
+
+func TestAllPos(t *testing.T) {
+	gs := sampleGraphs(t, 1, 2)
+	p := AllPos{}
+	for _, g := range gs {
+		scores := p.Score(g)
+		if len(scores) != len(g.Vertices) {
+			t.Fatal("score length")
+		}
+		for _, s := range scores {
+			if s != 1 {
+				t.Fatal("AllPos must score 1 everywhere")
+			}
+		}
+		for _, v := range Predict(p, g) {
+			if !v {
+				t.Fatal("AllPos must predict positive everywhere")
+			}
+		}
+	}
+	if p.Name() != "All pos" {
+		t.Fatal(p.Name())
+	}
+}
+
+func TestFairCoinRate(t *testing.T) {
+	gs := sampleGraphs(t, 3, 20)
+	p := FairCoin(7)
+	pos, total := 0, 0
+	for _, g := range gs {
+		for _, v := range Predict(p, g) {
+			total++
+			if v {
+				pos++
+			}
+		}
+	}
+	rate := float64(pos) / float64(total)
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("fair coin rate %v", rate)
+	}
+}
+
+func TestBiasedCoinRate(t *testing.T) {
+	gs := sampleGraphs(t, 5, 30)
+	p := BiasedCoin(0.05, 9)
+	pos, total := 0, 0
+	for _, g := range gs {
+		for _, v := range Predict(p, g) {
+			total++
+			if v {
+				pos++
+			}
+		}
+	}
+	rate := float64(pos) / float64(total)
+	if rate < 0.02 || rate > 0.09 {
+		t.Fatalf("biased coin rate %v, want ~0.05", rate)
+	}
+	if p.Name() != "Biased coin" || FairCoin(1).Name() != "Fair coin" {
+		t.Fatal("coin names")
+	}
+}
+
+func TestCoinDeterministicPerGraph(t *testing.T) {
+	gs := sampleGraphs(t, 7, 1)
+	p := FairCoin(11)
+	s1 := p.Score(gs[0])
+	s2 := p.Score(gs[0])
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("coin not deterministic for the same graph")
+		}
+	}
+}
+
+func TestCoinVariesAcrossGraphs(t *testing.T) {
+	gs := sampleGraphs(t, 9, 2)
+	p := FairCoin(13)
+	s1 := p.Score(gs[0])
+	s2 := p.Score(gs[1])
+	same := 0
+	n := len(s1)
+	if len(s2) < n {
+		n = len(s2)
+	}
+	for i := 0; i < n; i++ {
+		if s1[i] == s2[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("coin identical across different graphs")
+	}
+}
+
+func TestPICAdapter(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(11))
+	m := pic.New(pic.Config{Dim: 8, Layers: 1, LR: 1e-3, Epochs: 1, Seed: 1, PosWeight: 4})
+	tc := pic.NewTokenCache(k, m.Vocab)
+	m.Threshold = 0.4
+	p := NewPIC(m, tc, "")
+	if p.Name() != "PIC" || p.Threshold() != 0.4 {
+		t.Fatal("adapter metadata")
+	}
+	gen := syz.NewGenerator(k, 12)
+	builder := ctgraph.NewBuilder(k, cfg.Build(k))
+	a, b := gen.Generate(), gen.Generate()
+	pa, _ := syz.Run(k, a)
+	pb, _ := syz.Run(k, b)
+	g := builder.Build(ski.CTI{ID: 1, A: a, B: b}, pa, pb, ski.NewSampler(pa, pb, 3).Next())
+	scores := p.Score(g)
+	if len(scores) != len(g.Vertices) {
+		t.Fatal("score length")
+	}
+	named := NewPIC(m, tc, "PIC-5")
+	if named.Name() != "PIC-5" {
+		t.Fatal("custom label lost")
+	}
+}

@@ -1,0 +1,154 @@
+// Package race detects potential data races in concurrent execution traces.
+//
+// It stands in for the DataCollider-style detector the paper runs inside
+// SKI (§5.3). DataCollider detects a race by pausing one access and
+// observing whether another thread touches the same address *during the
+// pause* — detection is temporal, not purely lockset-based. This detector
+// mirrors that: two memory accesses constitute a potential data race when
+// they come from different threads, touch the same address, at least one
+// is a write, the threads hold no common lock, and the accesses fall
+// within a bounded window of the interleaved execution order. The window
+// makes race discovery schedule-dependent, exactly the property that lets
+// schedule selection matter (§5.3). Races are keyed by the unordered pair
+// of static racing instructions, matching the paper's "unique possible
+// data races" metric — the same race found under many schedules counts
+// once.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// Race is one potential data race: the two racing static instructions and
+// the shared address they collide on. A is always the lexically smaller
+// reference so that the pair is canonical.
+type Race struct {
+	A, B sim.InstrRef
+	Addr int32
+}
+
+// Key returns the canonical identity of the race.
+func (r Race) Key() string {
+	return fmt.Sprintf("%s|%s|g%d", r.A, r.B, r.Addr)
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race{%s <-> %s on g%d}", r.A, r.B, r.Addr)
+}
+
+func refLess(a, b sim.InstrRef) bool {
+	if a.Block != b.Block {
+		return a.Block < b.Block
+	}
+	return a.Idx < b.Idx
+}
+
+func canonical(a, b sim.InstrRef, addr int32) Race {
+	if refLess(b, a) {
+		a, b = b, a
+	}
+	return Race{A: a, B: b, Addr: addr}
+}
+
+// DefaultWindow is the detection window in interleaved instruction steps:
+// the DataCollider-pause equivalent. Conflicting accesses further apart
+// than this in the global order are not considered temporally overlapping.
+const DefaultWindow = 80
+
+// Detect scans the two threads' access traces of a concurrent execution
+// and returns the unique potential races under the default window, in
+// deterministic order.
+func Detect(res *ski.Result) []Race { return DetectWindow(res, DefaultWindow) }
+
+// DetectWindow is Detect with an explicit proximity window (in global
+// interleaving steps); window <= 0 means unbounded (pure lockset
+// detection).
+func DetectWindow(res *ski.Result, window int) []Race {
+	// Bucket thread-0 accesses by address to avoid the full cross product.
+	byAddr := make(map[int32][]syz.Access)
+	for _, a := range res.Accesses[0] {
+		byAddr[a.Addr] = append(byAddr[a.Addr], a)
+	}
+	seen := make(map[string]bool)
+	var out []Race
+	for _, b := range res.Accesses[1] {
+		for _, a := range byAddr[b.Addr] {
+			if !a.Write && !b.Write {
+				continue // read-read never races
+			}
+			if a.Lockset&b.Lockset != 0 {
+				continue // common lock orders the accesses
+			}
+			if window > 0 {
+				d := a.Step - b.Step
+				if d < 0 {
+					d = -d
+				}
+				if d > window {
+					continue // not temporally overlapping
+				}
+			}
+			r := canonical(a.Ref, b.Ref, b.Addr)
+			if k := r.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return refLess(out[i].A, out[j].A)
+		}
+		if out[i].B != out[j].B {
+			return refLess(out[i].B, out[j].B)
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Set accumulates unique races across many executions, the cumulative
+// "data-race-coverage" metric of §5.3.
+type Set struct {
+	m map[string]Race
+}
+
+// NewSet returns an empty cumulative race set.
+func NewSet() *Set { return &Set{m: make(map[string]Race)} }
+
+// Add inserts the races and returns how many were new.
+func (s *Set) Add(races []Race) int {
+	n := 0
+	for _, r := range races {
+		k := r.Key()
+		if _, ok := s.m[k]; !ok {
+			s.m[k] = r
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of unique races seen so far.
+func (s *Set) Size() int { return len(s.m) }
+
+// Has reports whether an equivalent race is already in the set.
+func (s *Set) Has(r Race) bool {
+	_, ok := s.m[r.Key()]
+	return ok
+}
+
+// Races returns all unique races in deterministic order.
+func (s *Set) Races() []Race {
+	out := make([]Race, 0, len(s.m))
+	for _, r := range s.m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}

@@ -1,0 +1,336 @@
+// Package razzer reproduces the Razzer integration case study (§5.6.1):
+// given a target data race — a pair of racing instructions — find
+// concurrent test inputs (CTIs) that reproduce it. Three variants are
+// compared in Table 4:
+//
+//	Razzer       — pair STIs whose *sequential* coverage contains the
+//	               racing instructions (the conservative original);
+//	Razzer-Relax — also accept STIs where a racing instruction lies in a
+//	               1-hop URB of the STI's sequential coverage;
+//	Razzer-PIC   — filter Razzer-Relax candidates with the PIC model,
+//	               keeping only CTIs predicted to cover both racing
+//	               blocks under some random schedule.
+//
+// Candidates are then dynamically executed under many random schedules;
+// a candidate is a true positive when the race is actually observed.
+package razzer
+
+import (
+	"fmt"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kasm"
+	"snowcat/internal/kernel"
+	"snowcat/internal/predictor"
+	"snowcat/internal/race"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+// TargetRace is a known (or statically suspected) data race: a writing and
+// a reading instruction on a shared address.
+type TargetRace struct {
+	WriteRef sim.InstrRef
+	ReadRef  sim.InstrRef
+	Addr     int32
+}
+
+func (t TargetRace) String() string {
+	return fmt.Sprintf("target{%s w-> g%d <-r %s}", t.WriteRef, t.Addr, t.ReadRef)
+}
+
+// Matches reports whether a detected race is the target (the detector
+// canonicalises pairs, so check both orders).
+func (t TargetRace) Matches(r race.Race) bool {
+	if r.Addr != t.Addr {
+		return false
+	}
+	return (r.A == t.WriteRef && r.B == t.ReadRef) || (r.A == t.ReadRef && r.B == t.WriteRef)
+}
+
+// RaceFromBug derives the ground-truth racing pair of a planted bug: the
+// writer syscall's store to the first guard variable and the reader
+// syscall's load of it.
+func RaceFromBug(k *kernel.Kernel, bug kernel.Bug) (TargetRace, error) {
+	gA := bug.GuardVars[0]
+	var t TargetRace
+	t.Addr = gA
+	found := 0
+	scan := func(fn int32, op kasm.Op) (sim.InstrRef, bool) {
+		for _, bid := range k.Func(fn).Blocks {
+			b := k.Block(bid)
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == op && b.Instrs[i].Addr == gA {
+					return sim.InstrRef{Block: bid, Idx: int32(i)}, true
+				}
+			}
+		}
+		return sim.InstrRef{}, false
+	}
+	wFn := k.Syscalls[bug.WriterSyscall].Fn
+	rFn := k.Syscalls[bug.ReaderSyscall].Fn
+	if ref, ok := scan(wFn, kasm.OpStore); ok {
+		t.WriteRef = ref
+		found++
+	}
+	if ref, ok := scan(rFn, kasm.OpLoad); ok {
+		t.ReadRef = ref
+		found++
+	}
+	if found != 2 {
+		return t, fmt.Errorf("razzer: bug %d has no racing pair on g%d", bug.ID, gA)
+	}
+	return t, nil
+}
+
+// Mode selects the CTI search algorithm.
+type Mode int
+
+const (
+	Conservative Mode = iota // original Razzer
+	Relax                    // Razzer-Relax
+	PICFiltered              // Razzer-PIC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Conservative:
+		return "Razzer"
+	case Relax:
+		return "Razzer-Relax"
+	case PICFiltered:
+		return "Razzer-PIC"
+	}
+	return "unknown"
+}
+
+// stiInfo caches per-STI analysis: sequential coverage and the SCB∪URB set.
+type stiInfo struct {
+	sti    *syz.STI
+	prof   *syz.Profile
+	scb    []bool // sequential coverage
+	scbURB []bool // coverage plus 1-hop URBs
+}
+
+// Finder searches a pool of STIs for race-reproducing CTIs.
+type Finder struct {
+	K       *kernel.Kernel
+	Builder *ctgraph.Builder
+	pool    []stiInfo
+	// PICSchedules is how many random schedules Razzer-PIC asks the model
+	// about per candidate (the paper checks "some random schedules").
+	PICSchedules int
+}
+
+// NewFinder profiles the STI pool and precomputes its URB sets.
+func NewFinder(k *kernel.Kernel, pool []*syz.STI) (*Finder, error) {
+	g := cfg.Build(k)
+	f := &Finder{K: k, Builder: ctgraph.NewBuilder(k, g), PICSchedules: 3}
+	for _, sti := range pool {
+		prof, err := syz.Run(k, sti)
+		if err != nil {
+			return nil, fmt.Errorf("razzer: profiling pool: %w", err)
+		}
+		info := stiInfo{sti: sti, prof: prof, scb: prof.Covered}
+		urbs := g.FindURBs(prof.Covered, 1)
+		both := make([]bool, len(prof.Covered))
+		copy(both, prof.Covered)
+		for _, u := range urbs.URBs {
+			both[u] = true
+		}
+		info.scbURB = both
+		f.pool = append(f.pool, info)
+	}
+	return f, nil
+}
+
+// PoolSize returns the number of profiled STIs.
+func (f *Finder) PoolSize() int { return len(f.pool) }
+
+// FindCTIs returns the candidate CTIs for the target under the given mode.
+// Thread A is always the write-side STI. For PICFiltered, pred must be a
+// trained predictor; seed drives its schedule sampling.
+func (f *Finder) FindCTIs(target TargetRace, mode Mode, pred predictor.Predictor, seed uint64) []ski.CTI {
+	cover := func(info stiInfo, block int32) bool {
+		if mode == Conservative {
+			return info.scb[block]
+		}
+		return info.scbURB[block] // Relax and PICFiltered
+	}
+	var writers, readers []int
+	for i, info := range f.pool {
+		if cover(info, target.WriteRef.Block) {
+			writers = append(writers, i)
+		}
+		if cover(info, target.ReadRef.Block) {
+			readers = append(readers, i)
+		}
+	}
+	rng := xrand.New(seed)
+	var out []ski.CTI
+	id := int64(0)
+	for _, wi := range writers {
+		for _, ri := range readers {
+			if wi == ri {
+				continue
+			}
+			cti := ski.CTI{ID: id, A: f.pool[wi].sti, B: f.pool[ri].sti}
+			id++
+			if mode == PICFiltered && !f.picAccepts(cti, f.pool[wi].prof, f.pool[ri].prof, target, pred, rng.Uint64()) {
+				continue
+			}
+			out = append(out, cti)
+		}
+	}
+	return out
+}
+
+// picAccepts asks the model whether some random schedule of the CTI is
+// predicted to cover both racing blocks.
+func (f *Finder) picAccepts(cti ski.CTI, pa, pb *syz.Profile, target TargetRace, pred predictor.Predictor, seed uint64) bool {
+	sampler := ski.NewSampler(pa, pb, seed)
+	for s := 0; s < f.PICSchedules; s++ {
+		g := f.Builder.Build(cti, pa, pb, sampler.Next())
+		wi := g.VertexOf(target.WriteRef.Block)
+		ri := g.VertexOf(target.ReadRef.Block)
+		if wi < 0 || ri < 0 {
+			continue
+		}
+		labels := predictor.Predict(pred, g)
+		if labels[wi] && labels[ri] {
+			return true
+		}
+	}
+	return false
+}
+
+// ReproConfig controls the dynamic reproduction attempt.
+type ReproConfig struct {
+	SchedulesPerCTI int // random schedules tried per candidate (paper: 5000)
+	Seed            uint64
+	ExecSeconds     float64 // simulated cost per dynamic execution (paper: 2.8)
+	Shuffles        int     // queue shuffles for the average-time estimate (paper: 1000)
+}
+
+// ReproResult is one row cell of Table 4.
+type ReproResult struct {
+	Mode       Mode
+	CTIs       int // candidates selected
+	TPCTIs     int // candidates that actually reproduce the race
+	AvgHours   float64
+	WorstHours float64
+	Reproduced bool
+}
+
+func (r ReproResult) String() string {
+	if !r.Reproduced {
+		return fmt.Sprintf("%s: %d CTIs, 0 TP, Na / Na", r.Mode, r.CTIs)
+	}
+	return fmt.Sprintf("%s: %d CTIs, %d TP, %.1fh / %.1fh", r.Mode, r.CTIs, r.TPCTIs, r.AvgHours, r.WorstHours)
+}
+
+// Reproduce executes each candidate under cfg.SchedulesPerCTI random
+// schedules and reports reproduction statistics. The average time models
+// the paper's procedure: shuffle the CTI execution queue cfg.Shuffles
+// times and average the simulated time until the first true positive
+// finishes; the worst case puts every true positive at the queue's end.
+func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (ReproResult, error) {
+	res := ReproResult{CTIs: len(ctis)}
+	if len(ctis) == 0 {
+		return res, nil
+	}
+	profOf := make(map[int64]*syz.Profile, len(f.pool))
+	for _, info := range f.pool {
+		profOf[info.sti.ID] = info.prof
+	}
+
+	tp := make([]bool, len(ctis))
+	rng := xrand.New(cfg.Seed)
+	for i, cti := range ctis {
+		pa, pb := profOf[cti.A.ID], profOf[cti.B.ID]
+		if pa == nil || pb == nil {
+			return res, fmt.Errorf("razzer: CTI %d references STI outside the pool", cti.ID)
+		}
+		sampler := ski.NewSampler(pa, pb, rng.Uint64())
+		for s := 0; s < cfg.SchedulesPerCTI; s++ {
+			out, err := ski.Execute(f.K, cti, sampler.Next())
+			if err != nil {
+				return res, err
+			}
+			for _, r := range race.Detect(out) {
+				if target.Matches(r) {
+					tp[i] = true
+					break
+				}
+			}
+			if tp[i] {
+				break
+			}
+		}
+		if tp[i] {
+			res.TPCTIs++
+		}
+	}
+	if res.TPCTIs == 0 {
+		return res, nil
+	}
+	res.Reproduced = true
+
+	// Simulated time accounting: each queued CTI costs a full schedule
+	// sweep; reaching the first true positive ends the search.
+	perCTI := float64(cfg.SchedulesPerCTI) * cfg.ExecSeconds / 3600
+	res.WorstHours = float64(len(ctis)-res.TPCTIs+1) * perCTI
+	shuffles := cfg.Shuffles
+	if shuffles <= 0 {
+		shuffles = 1000
+	}
+	total := 0.0
+	order := make([]int, len(ctis))
+	for i := range order {
+		order[i] = i
+	}
+	for s := 0; s < shuffles; s++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for pos, idx := range order {
+			if tp[idx] {
+				total += float64(pos+1) * perCTI
+				break
+			}
+		}
+	}
+	res.AvgHours = total / float64(shuffles)
+	return res, nil
+}
+
+// SpreadCap shuffles candidates deterministically and truncates to n, so
+// a capped reproduction attempt samples across the writer×reader grid
+// instead of exhausting one writer's row first.
+func SpreadCap(ctis []ski.CTI, n int, seed uint64) []ski.CTI {
+	out := append([]ski.CTI(nil), ctis...)
+	rng := xrand.New(seed)
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// BuildPool generates a pool of nRandom random STIs plus, per syscall
+// involved in the targets, nDirected STIs ending in that syscall — the
+// "fuzzing generates many STIs" stage of Razzer's pipeline.
+func BuildPool(k *kernel.Kernel, targets []int32, nRandom, nDirected int, seed uint64) []*syz.STI {
+	gen := syz.NewGenerator(k, seed)
+	var pool []*syz.STI
+	for i := 0; i < nRandom; i++ {
+		pool = append(pool, gen.Generate())
+	}
+	for _, sc := range targets {
+		for i := 0; i < nDirected; i++ {
+			pool = append(pool, gen.GenerateFor(sc))
+		}
+	}
+	return pool
+}

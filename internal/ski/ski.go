@@ -1,0 +1,293 @@
+// Package ski executes concurrent tests under controlled interleavings.
+//
+// It reproduces the executor role of SKI (§3.1, §4): a uniprocessor
+// scheduler runs the two kernel threads of a concurrent test one at a time
+// and enforces *scheduling hints* — "switch to the other thread after
+// executing instruction X". Hints follow SKI's relaxed semantics: a hint
+// whose switch-point instruction is never executed is skipped, and a
+// blocked or finished thread forces an extra switch (SKI's deadlock
+// fallback). Besides the executor, the package provides the PCT-style
+// schedule sampler used as the interleaving proposal source by both the
+// baseline (PCT) and the model-guided (MLPCT) explorers.
+package ski
+
+import (
+	"fmt"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+// CTI is a concurrent test input: a pair of sequential test inputs that
+// will run on two kernel threads.
+type CTI struct {
+	ID   int64
+	A, B *syz.STI
+}
+
+func (c CTI) String() string { return fmt.Sprintf("cti%d(%s || %s)", c.ID, c.A, c.B) }
+
+// Hint is one scheduling hint: after thread Thread executes the (first
+// dynamic occurrence of the) instruction Ref, the executor switches to the
+// other thread.
+type Hint struct {
+	Thread int32 // 0 = thread A, 1 = thread B
+	Ref    sim.InstrRef
+}
+
+// IRQHint asks the executor to inject interrupt handler IRQ onto thread
+// Thread right after it executes (the first dynamic occurrence of) Ref —
+// the §6 interrupt-coverage extension. Unfired injections are skipped,
+// like scheduling hints.
+type IRQHint struct {
+	Thread int32
+	Ref    sim.InstrRef
+	IRQ    int32
+}
+
+// Schedule is a target interleaving: an ordered list of scheduling hints,
+// plus optional interrupt injections. The paper configures two hints per
+// concurrent test (§3.1); the executor accepts any number.
+type Schedule struct {
+	Hints []Hint
+	IRQs  []IRQHint
+}
+
+// Key returns a comparable identity for deduplicating schedules.
+func (s Schedule) Key() string {
+	k := ""
+	for _, h := range s.Hints {
+		k += fmt.Sprintf("%d@%s;", h.Thread, h.Ref)
+	}
+	for _, q := range s.IRQs {
+		k += fmt.Sprintf("irq%d:%d@%s;", q.IRQ, q.Thread, q.Ref)
+	}
+	return k
+}
+
+// Result is everything observed during one concurrent execution.
+type Result struct {
+	// Covered is the union block coverage of the concurrent execution.
+	Covered []bool
+	// CoveredBy is the per-thread block coverage.
+	CoveredBy [2][]bool
+	// Accesses holds each thread's memory accesses; Step fields carry the
+	// *global* interleaving position so cross-thread order is recoverable.
+	Accesses [2][]syz.Access
+	// BugsHit lists planted bug IDs triggered during the execution.
+	BugsHit []int32
+	// HintsFired counts scheduling hints that actually caused a switch;
+	// Switches counts all thread switches including fallbacks.
+	HintsFired int
+	Switches   int
+	Steps      int
+}
+
+// CoveredCount returns the number of blocks in the union coverage.
+func (r *Result) CoveredCount() int {
+	n := 0
+	for _, c := range r.Covered {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// HitBug reports whether the given planted bug fired.
+func (r *Result) HitBug(id int32) bool {
+	for _, b := range r.BugsHit {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Execute runs the concurrent test (cti, sched) on a fresh machine and
+// returns the observed result. Execution is fully deterministic.
+//
+// Scheduling model: thread A starts. The earliest unconsumed hint is
+// "armed" only when it names the currently running thread; when the
+// running thread executes the armed hint's instruction, the hint fires and
+// control switches. A thread that finishes or blocks forces a switch
+// regardless of hints; a hint naming a finished thread is dropped (SKI's
+// skip semantics).
+func Execute(k *kernel.Kernel, cti CTI, sched Schedule) (*Result, error) {
+	m := sim.NewMachine(k)
+	threads := [2]*sim.Thread{
+		sim.NewThread(m, 0, cti.A.Calls),
+		sim.NewThread(m, 1, cti.B.Calls),
+	}
+	res := &Result{Covered: make([]bool, k.NumBlocks())}
+	res.CoveredBy[0] = make([]bool, k.NumBlocks())
+	res.CoveredBy[1] = make([]bool, k.NumBlocks())
+
+	hints := sched.Hints
+	irqs := append([]IRQHint(nil), sched.IRQs...)
+	cur := int32(0)
+	globalStep := 0
+
+	for {
+		// Drop hints that name finished threads: they can never fire.
+		for len(hints) > 0 && threads[hints[0].Thread].State() == sim.Done {
+			hints = hints[1:]
+		}
+
+		t := threads[cur]
+		switch t.State() {
+		case sim.Done, sim.BlockedOnLock:
+			other := 1 - cur
+			o := threads[other]
+			if o.State() == sim.Runnable {
+				cur = other
+				res.Switches++
+				continue
+			}
+			if t.State() == sim.Done && o.State() == sim.Done {
+				res.Steps = globalStep
+				return res, nil
+			}
+			// Both threads stuck: with single-lock critical sections this
+			// is unreachable, but report it rather than spinning.
+			return nil, fmt.Errorf("ski: deadlock executing %s (A=%v B=%v)",
+				cti, threads[0].State(), threads[1].State())
+		}
+
+		ev, err := t.Step()
+		if err != nil {
+			return nil, fmt.Errorf("ski: executing %s: %w", cti, err)
+		}
+		// A runnable thread that could not progress (lock contention
+		// discovered during the step) forces a switch next iteration.
+		if t.State() == sim.BlockedOnLock {
+			continue
+		}
+		globalStep++
+
+		if ev.EnteredBlock {
+			res.Covered[ev.Block] = true
+			res.CoveredBy[cur][ev.Block] = true
+		}
+		if ev.Read || ev.Write {
+			res.Accesses[cur] = append(res.Accesses[cur], syz.Access{
+				Ref: ev.Ref, Write: ev.Write, Addr: ev.Addr,
+				Value: ev.Value, Lockset: ev.Lockset, Step: globalStep,
+			})
+		}
+		if ev.BugHit {
+			res.BugsHit = append(res.BugsHit, ev.BugID)
+		}
+
+		// Interrupt injection: any pending IRQ hint for this thread fires
+		// on the first execution of its instruction.
+		for qi := 0; qi < len(irqs); {
+			q := irqs[qi]
+			if q.Thread == cur && q.Ref == ev.Ref && int(q.IRQ) < len(k.IRQs) {
+				t.InjectIRQ(k.IRQs[q.IRQ].Fn)
+				irqs = append(irqs[:qi], irqs[qi+1:]...)
+				continue
+			}
+			qi++
+		}
+
+		// Hint firing: the earliest hint is armed only for its own thread.
+		if len(hints) > 0 && hints[0].Thread == cur && hints[0].Ref == ev.Ref {
+			hints = hints[1:]
+			other := 1 - cur
+			if threads[other].State() != sim.Done {
+				cur = other
+				res.Switches++
+				res.HintsFired++
+			}
+		}
+	}
+}
+
+// ExecuteSeq runs the CTI's two STIs back to back on one machine with no
+// interleaving (A fully, then B). This is the "no concurrency" reference
+// some metrics need (e.g. schedule-dependent block coverage excludes the
+// blocks sequential execution reaches).
+func ExecuteSeq(k *kernel.Kernel, cti CTI) (*Result, error) {
+	return Execute(k, cti, Schedule{})
+}
+
+// Sampler proposes candidate schedules for a CTI, mirroring SKI's
+// PCT-based interleaving exploration: switch points are drawn uniformly
+// over the dynamic instruction traces observed in the STIs' sequential
+// runs (the same priming information Snowboard and Razzer reuse, §3).
+type Sampler struct {
+	rng   *xrand.RNG
+	profA *syz.Profile
+	profB *syz.Profile
+}
+
+// NewSampler creates a deterministic schedule sampler for the CTI whose
+// sequential profiles are profA and profB.
+func NewSampler(profA, profB *syz.Profile, seed uint64) *Sampler {
+	return &Sampler{rng: xrand.New(seed), profA: profA, profB: profB}
+}
+
+// Next proposes a two-hint schedule: yield A→B at a random instruction of
+// A's sequential trace, yield B→A at a random instruction of B's trace.
+// Two hints suffice for most concurrency bugs (§3.1, citing PCT's small-d
+// observation), and both the paper and this reproduction use them as the
+// default.
+func (s *Sampler) Next() Schedule { return s.NextD(2) }
+
+// NextD proposes a d-hint schedule — the PCT generalisation with d change
+// points: hints alternate between the threads (A, B, A, ...), each at a
+// uniformly random instruction of the owning thread's sequential trace.
+// Hints whose instruction is not reached are skipped by the executor, so
+// larger d degrades gracefully. d < 1 yields the empty (serial) schedule.
+func (s *Sampler) NextD(d int) Schedule {
+	var sched Schedule
+	traces := [2][]sim.InstrRef{s.profA.InstrTrace, s.profB.InstrTrace}
+	for i := 0; i < d; i++ {
+		th := int32(i % 2)
+		trace := traces[th]
+		sched.Hints = append(sched.Hints, Hint{
+			Thread: th,
+			Ref:    trace[s.rng.Intn(len(trace))],
+		})
+	}
+	return sched
+}
+
+// NextWithIRQs proposes a two-hint schedule plus nIRQ random interrupt
+// injections drawn over the two threads' traces; numIRQs is the kernel's
+// handler count. With numIRQs == 0 it degenerates to Next().
+func (s *Sampler) NextWithIRQs(nIRQ, numIRQs int) Schedule {
+	sched := s.Next()
+	if numIRQs <= 0 {
+		return sched
+	}
+	traces := [2][]sim.InstrRef{s.profA.InstrTrace, s.profB.InstrTrace}
+	for i := 0; i < nIRQ; i++ {
+		th := int32(s.rng.Intn(2))
+		trace := traces[th]
+		sched.IRQs = append(sched.IRQs, IRQHint{
+			Thread: th,
+			Ref:    trace[s.rng.Intn(len(trace))],
+			IRQ:    int32(s.rng.Intn(numIRQs)),
+		})
+	}
+	return sched
+}
+
+// NextUnique proposes up to maxTries schedules and returns the first whose
+// Key is not in seen, recording it there. ok=false when the sampler could
+// not find a fresh schedule (interleaving space exhausted for this CTI).
+func (s *Sampler) NextUnique(seen map[string]bool, maxTries int) (Schedule, bool) {
+	for i := 0; i < maxTries; i++ {
+		sc := s.Next()
+		k := sc.Key()
+		if !seen[k] {
+			seen[k] = true
+			return sc, true
+		}
+	}
+	return Schedule{}, false
+}

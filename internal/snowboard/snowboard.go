@@ -1,0 +1,280 @@
+// Package snowboard reproduces the Snowboard integration case study
+// (§5.6.2): CTIs are clustered by INS-PAIR — the (write instruction, read
+// instruction, shared address) triple their constituent STIs can realise
+// as an inter-thread data flow — and only sampled exemplars of each
+// cluster are dynamically tested. Table 5 compares exemplar samplers:
+//
+//	SB-RND(p)   — sample a fixed fraction p of the cluster at random;
+//	SB-PIC(S1)  — predict coverage of each CTI under a synthetic
+//	              write→read scheduling hint, select those with a new
+//	              predicted coverage bitmap;
+//	SB-PIC(S2)  — same predictions, select those predicted to cover at
+//	              least one new block.
+package snowboard
+
+import (
+	"fmt"
+	"sort"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/predictor"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+// PairKey identifies an INS-PAIR cluster: a potential inter-thread data
+// flow from a write instruction to a read instruction on one address.
+type PairKey struct {
+	WriteRef sim.InstrRef
+	ReadRef  sim.InstrRef
+	Addr     int32
+}
+
+func (k PairKey) String() string {
+	return fmt.Sprintf("pair{%s -> %s on g%d}", k.WriteRef, k.ReadRef, k.Addr)
+}
+
+// Member is one CTI of a cluster together with its profiles. Thread A is
+// the write-side STI.
+type Member struct {
+	CTI          ski.CTI
+	ProfA, ProfB *syz.Profile
+}
+
+// Cluster groups the CTIs that can realise one INS-PAIR.
+type Cluster struct {
+	Key     PairKey
+	Members []Member
+}
+
+// Hint returns the synthetic scheduling hint Snowboard-PIC feeds the
+// model: the write-side thread yields right after the write instruction,
+// so the read observes the written value (§5.6.2).
+func (c *Cluster) Hint() ski.Schedule {
+	return ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: c.Key.WriteRef}}}
+}
+
+// ClusterCTIs builds INS-PAIR clusters from a set of profiled CTI
+// candidates: every (write in A, read in B, same address) combination of
+// the two sequential traces is one pair key. Clusters are returned in
+// deterministic key order.
+func ClusterCTIs(members []Member) []*Cluster {
+	byKey := make(map[PairKey]*Cluster)
+	for _, m := range members {
+		seen := make(map[PairKey]bool)
+		for _, w := range m.ProfA.Accesses {
+			if !w.Write {
+				continue
+			}
+			for _, r := range m.ProfB.Accesses {
+				if r.Write || r.Addr != w.Addr {
+					continue
+				}
+				key := PairKey{WriteRef: w.Ref, ReadRef: r.Ref, Addr: w.Addr}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				c := byKey[key]
+				if c == nil {
+					c = &Cluster{Key: key}
+					byKey[key] = c
+				}
+				c.Members = append(c.Members, m)
+			}
+		}
+	}
+	out := make([]*Cluster, 0, len(byKey))
+	for _, c := range byKey {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.String() < out[j].Key.String() })
+	return out
+}
+
+// Sampler selects exemplar member indices from a cluster.
+type Sampler interface {
+	Name() string
+	Sample(c *Cluster) []int
+}
+
+// RND samples a fixed fraction of the cluster uniformly (at least one
+// member for non-empty clusters).
+type RND struct {
+	Frac float64
+	rng  *xrand.RNG
+}
+
+// NewRND creates the SB-RND sampler.
+func NewRND(frac float64, seed uint64) *RND {
+	return &RND{Frac: frac, rng: xrand.New(seed)}
+}
+
+func (s *RND) Name() string { return fmt.Sprintf("SB-RND(%d%%)", int(s.Frac*100+0.5)) }
+
+func (s *RND) Sample(c *Cluster) []int {
+	n := len(c.Members)
+	if n == 0 {
+		return nil
+	}
+	k := int(s.Frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	idx := s.rng.Sample(n, k)
+	sort.Ints(idx)
+	return idx
+}
+
+// PIC samples members whose predicted coverage under the cluster's
+// synthetic hint is interesting per the selection strategy.
+type PIC struct {
+	Builder *ctgraph.Builder
+	Pred    predictor.Predictor
+	Strat   strategy.Strategy
+	Label   string
+}
+
+// NewPIC creates an SB-PIC sampler with the given strategy (S1 or S2).
+func NewPIC(b *ctgraph.Builder, pred predictor.Predictor, strat strategy.Strategy) *PIC {
+	return &PIC{Builder: b, Pred: pred, Strat: strat,
+		Label: fmt.Sprintf("SB-PIC(%s)", strat.Name())}
+}
+
+func (s *PIC) Name() string { return s.Label }
+
+func (s *PIC) Sample(c *Cluster) []int {
+	s.Strat.Reset() // cumulative novelty is judged within a cluster
+	hint := c.Hint()
+	var out []int
+	for i, m := range c.Members {
+		g := s.Builder.Build(m.CTI, m.ProfA, m.ProfB, hint)
+		p := mlpct.Prediction(s.Pred, g)
+		if strategy.Select(s.Strat, g, p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Explore dynamically tests one member with the cluster hint plus focused
+// single-switch schedules: Snowboard exercises interleavings *of the
+// identified data flow* (§7), so the extra schedules yield from the
+// write-side thread at varying points and let the read-side thread run —
+// exactly the switch structure that can realise the pair. Reports whether
+// the planted bug fired.
+func Explore(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedules int, seed uint64) (bool, int, error) {
+	execs := 0
+	run := func(sched ski.Schedule) (bool, error) {
+		res, err := ski.Execute(k, m.CTI, sched)
+		if err != nil {
+			return false, err
+		}
+		execs++
+		return res.HitBug(bugID), nil
+	}
+	hit, err := run(c.Hint())
+	if err != nil || hit {
+		return hit, execs, err
+	}
+	rng := xrand.New(seed)
+	for i := 0; i < extraSchedules; i++ {
+		ref := m.ProfA.InstrTrace[rng.Intn(len(m.ProfA.InstrTrace))]
+		hit, err = run(ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: ref}}})
+		if err != nil || hit {
+			return hit, execs, err
+		}
+	}
+	return false, execs, nil
+}
+
+// TrialResult summarises one sampling experiment over a buggy cluster.
+type TrialResult struct {
+	Sampler      string
+	BugFindProb  float64 // fraction of trials whose sampled set finds the bug
+	SamplingRate float64 // mean fraction of the cluster executed
+	MeanExecuted float64 // mean CTIs executed per trial
+}
+
+// RunTrials repeats the sampling experiment: in each trial the sampler
+// picks exemplars from the buggy cluster; the trial is bug-finding when at
+// least one sampled member triggers the bug under exploration. triggering
+// must hold the ground truth per member (precomputed by the caller via
+// Explore, so trials do not re-execute).
+func RunTrials(c *Cluster, s Sampler, triggering []bool, trials int) TrialResult {
+	res := TrialResult{Sampler: s.Name()}
+	if len(c.Members) == 0 || trials <= 0 {
+		return res
+	}
+	finds, sampled := 0, 0
+	for t := 0; t < trials; t++ {
+		idx := s.Sample(c)
+		sampled += len(idx)
+		for _, i := range idx {
+			if triggering[i] {
+				finds++
+				break
+			}
+		}
+	}
+	res.BugFindProb = float64(finds) / float64(trials)
+	res.MeanExecuted = float64(sampled) / float64(trials)
+	res.SamplingRate = res.MeanExecuted / float64(len(c.Members))
+	return res
+}
+
+// DF samples members by the §6 data-flow prediction extension: the model
+// scores, per member, the probability that the cluster's INS-PAIR flow is
+// actually realised under the synthetic hint, and the sampler keeps
+// members above a threshold. Compared to SB-PIC's coverage-novelty
+// selection, flow prediction targets the cluster's semantics directly —
+// the paper suggests exactly this task to cut reproduction cost further.
+type DF struct {
+	Builder   *ctgraph.Builder
+	Model     FlowScorer
+	Threshold float64
+}
+
+// FlowScorer is the data-flow prediction interface (satisfied by
+// pic.Model+TokenCache via a small adapter in the caller).
+type FlowScorer interface {
+	ScoreFlows(g *ctgraph.Graph) []float64
+}
+
+// NewDF creates the SB-DF sampler.
+func NewDF(b *ctgraph.Builder, model FlowScorer, threshold float64) *DF {
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return &DF{Builder: b, Model: model, Threshold: threshold}
+}
+
+func (s *DF) Name() string { return "SB-DF" }
+
+func (s *DF) Sample(c *Cluster) []int {
+	var out []int
+	for i, m := range c.Members {
+		g := s.Builder.Build(m.CTI, m.ProfA, m.ProfB, c.Hint())
+		probs := s.Model.ScoreFlows(g)
+		// Find the InterDF edge matching the cluster's pair.
+		best := -1.0
+		for row, ei := range g.InterDFEdges() {
+			e := g.Edges[ei]
+			if g.Vertices[e.From].Block == c.Key.WriteRef.Block &&
+				g.Vertices[e.To].Block == c.Key.ReadRef.Block {
+				if probs[row] > best {
+					best = probs[row]
+				}
+			}
+		}
+		if best >= s.Threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}

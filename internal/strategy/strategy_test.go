@@ -1,0 +1,191 @@
+package strategy
+
+import (
+	"testing"
+
+	"snowcat/internal/ctgraph"
+)
+
+// pr wraps bare labels as a Prediction (no scores: strategies fall back
+// to label-derived quantisation).
+func pr(labels ...bool) Prediction { return Prediction{Labels: labels} }
+
+// graphWithBlocks builds a minimal CT graph whose vertices carry the given
+// block IDs.
+func graphWithBlocks(blocks ...int32) *ctgraph.Graph {
+	g := &ctgraph.Graph{}
+	for _, b := range blocks {
+		g.Vertices = append(g.Vertices, ctgraph.Vertex{Block: b, Type: ctgraph.SCB})
+	}
+	return g
+}
+
+func TestS1NewBitmapInteresting(t *testing.T) {
+	s := NewS1()
+	g := graphWithBlocks(1, 2, 3)
+	if !Select(s, g, pr(true, false, true)) {
+		t.Fatal("fresh bitmap must be interesting")
+	}
+	// The same positive set again: boring.
+	if Select(s, g, pr(true, false, true)) {
+		t.Fatal("repeated bitmap selected")
+	}
+	// A different combination of the same blocks: interesting (S1 keys on
+	// the set, which differs here).
+	if !Select(s, g, pr(true, true, true)) {
+		t.Fatal("new combination rejected")
+	}
+}
+
+func TestS1DistinguishesBitmapNotBlocks(t *testing.T) {
+	s := NewS1()
+	g := graphWithBlocks(1, 2)
+	Select(s, g, pr(true, true))
+	// Subset bitmap {1} was never seen, even though block 1 was.
+	if !s.Interesting(g, pr(true, false)) {
+		t.Fatal("S1 must key on the set, not individual blocks")
+	}
+}
+
+func TestS1EmptyBitmapOnce(t *testing.T) {
+	s := NewS1()
+	g := graphWithBlocks(1)
+	if !Select(s, g, pr(false)) {
+		t.Fatal("first empty bitmap is new")
+	}
+	if Select(s, g, pr(false)) {
+		t.Fatal("empty bitmap selected twice")
+	}
+}
+
+func TestS2NewBlockInteresting(t *testing.T) {
+	s := NewS2()
+	g := graphWithBlocks(1, 2, 3)
+	if !Select(s, g, pr(true, true, false)) {
+		t.Fatal("fresh blocks must be interesting")
+	}
+	// Only already-seen blocks positive: boring.
+	if Select(s, g, pr(true, false, false)) {
+		t.Fatal("covered-only candidate selected")
+	}
+	// One new block: interesting.
+	if !Select(s, g, pr(false, false, true)) {
+		t.Fatal("new block rejected")
+	}
+	// All-negative prediction: boring.
+	if Select(s, g, pr(false, false, false)) {
+		t.Fatal("no positives should never be interesting under S2")
+	}
+}
+
+func TestS2IsMoreConservativeThanS1(t *testing.T) {
+	// The §5.3.2 observation: S1 accepts novelty in combinations, S2 only
+	// novelty in individual blocks, so S2 accepts a subset of S1.
+	s1, s2 := NewS1(), NewS2()
+	g := graphWithBlocks(1, 2)
+	preds := []Prediction{
+		pr(true, false),
+		pr(false, true),
+		pr(true, true), // new combination for S1, but no new block for S2
+	}
+	s1count, s2count := 0, 0
+	for _, p := range preds {
+		if Select(s1, g, p) {
+			s1count++
+		}
+		if Select(s2, g, p) {
+			s2count++
+		}
+	}
+	if s1count != 3 || s2count != 2 {
+		t.Fatalf("s1=%d s2=%d, want 3 and 2", s1count, s2count)
+	}
+}
+
+func TestS3TrialLimit(t *testing.T) {
+	s := NewS3(2)
+	g := graphWithBlocks(7)
+	pred := pr(true)
+	if !Select(s, g, pred) || !Select(s, g, pred) {
+		t.Fatal("first two trials must pass")
+	}
+	if Select(s, g, pred) {
+		t.Fatal("third trial exceeds limit")
+	}
+}
+
+func TestS3MixedBlocks(t *testing.T) {
+	s := NewS3(1)
+	g := graphWithBlocks(1, 2)
+	if !Select(s, g, pr(true, false)) {
+		t.Fatal("block 1 first trial")
+	}
+	// Block 1 exhausted but block 2 fresh: still interesting.
+	if !Select(s, g, pr(true, true)) {
+		t.Fatal("fresh block 2 should pass")
+	}
+	if Select(s, g, pr(true, true)) {
+		t.Fatal("both exhausted")
+	}
+}
+
+func TestS3MinimumLimit(t *testing.T) {
+	s := NewS3(0)
+	if s.Limit != 1 {
+		t.Fatalf("limit clamped to %d", s.Limit)
+	}
+}
+
+func TestResetClearsMemory(t *testing.T) {
+	g := graphWithBlocks(1)
+	pred := pr(true)
+	for _, s := range []Strategy{NewS1(), NewS2(), NewS3(1)} {
+		Select(s, g, pred)
+		if s.Interesting(g, pred) && s.Name() != "S1" {
+			// S1 with a different bitmap could still be interesting, but
+			// the same bitmap must not be.
+			t.Fatalf("%s: still interesting after commit", s.Name())
+		}
+		s.Reset()
+		if !s.Interesting(g, pred) {
+			t.Fatalf("%s: not interesting after reset", s.Name())
+		}
+	}
+}
+
+func TestInterestingDoesNotCommit(t *testing.T) {
+	s := NewS2()
+	g := graphWithBlocks(5)
+	pred := pr(true)
+	if !s.Interesting(g, pred) || !s.Interesting(g, pred) {
+		t.Fatal("Interesting must be side-effect free")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewS1().Name() != "S1" || NewS2().Name() != "S2" {
+		t.Fatal("names")
+	}
+	if NewS3(3).Name() != "S3(limit=3)" {
+		t.Fatal(NewS3(3).Name())
+	}
+}
+
+func TestS1SignatureQuantisesScores(t *testing.T) {
+	// Scores in the same quantisation bucket collapse to one signature;
+	// scores in different buckets are distinct candidates.
+	g := graphWithBlocks(1, 2)
+	s := NewS1()
+	p1 := Prediction{Labels: []bool{true, false}, Scores: []float64{0.91, 0.02}}
+	p2 := Prediction{Labels: []bool{true, false}, Scores: []float64{0.93, 0.04}} // same buckets
+	p3 := Prediction{Labels: []bool{true, false}, Scores: []float64{0.91, 0.31}} // new bucket
+	if !Select(s, g, p1) {
+		t.Fatal("first signature must be new")
+	}
+	if Select(s, g, p2) {
+		t.Fatal("same-bucket scores treated as new")
+	}
+	if !Select(s, g, p3) {
+		t.Fatal("different-bucket scores treated as seen")
+	}
+}

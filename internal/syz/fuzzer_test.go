@@ -1,0 +1,81 @@
+package syz
+
+import (
+	"testing"
+
+	"snowcat/internal/kernel"
+)
+
+func TestFuzzerAcceptsCoverageIncreases(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(41))
+	f := NewFuzzer(k, 42)
+	for i := 0; i < 200; i++ {
+		if _, _, err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.CorpusSize() == 0 {
+		t.Fatal("empty corpus after 200 steps")
+	}
+	if f.CoveredBlocks() == 0 {
+		t.Fatal("no coverage")
+	}
+	if f.Accepted > f.Executed {
+		t.Fatal("accepted more than executed")
+	}
+	if len(f.Corpus()) != f.CorpusSize() || len(f.Profiles()) != f.CorpusSize() {
+		t.Fatal("corpus accessors inconsistent")
+	}
+}
+
+func TestFuzzerCurveMonotonicAndSaturating(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(43))
+	f := NewFuzzer(k, 44)
+	curve, err := f.Campaign(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatal("coverage decreased")
+		}
+	}
+	// The classic fuzzing shape: the first half gains more than the second.
+	half := len(curve) / 2
+	firstGain := curve[half] - curve[0]
+	secondGain := curve[len(curve)-1] - curve[half]
+	if firstGain <= secondGain {
+		t.Fatalf("no saturation: first half +%d, second half +%d", firstGain, secondGain)
+	}
+	// Acceptance is the exception, not the rule.
+	if float64(f.Accepted)/float64(f.Executed) > 0.5 {
+		t.Fatalf("acceptance rate %.2f implausibly high", float64(f.Accepted)/float64(f.Executed))
+	}
+}
+
+func TestFuzzerDeterministic(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(45))
+	run := func() (int, int) {
+		f := NewFuzzer(k, 46)
+		if _, err := f.Campaign(100); err != nil {
+			t.Fatal(err)
+		}
+		return f.CoveredBlocks(), f.CorpusSize()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatal("fuzzing not deterministic")
+	}
+}
+
+func TestFuzzerCoverageNeverExceedsKernel(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(47))
+	f := NewFuzzer(k, 48)
+	if _, err := f.Campaign(300); err != nil {
+		t.Fatal(err)
+	}
+	if f.CoveredBlocks() > k.NumBlocks() {
+		t.Fatal("covered more blocks than exist")
+	}
+}

@@ -1,0 +1,232 @@
+package syz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"snowcat/internal/kernel"
+)
+
+func testKernel(seed uint64) *kernel.Kernel {
+	return kernel.Generate(kernel.SmallConfig(seed))
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	k := testKernel(1)
+	g := NewGenerator(k, 2)
+	for i := 0; i < 200; i++ {
+		sti := g.Generate()
+		if len(sti.Calls) < 1 || len(sti.Calls) > g.MaxCalls {
+			t.Fatalf("STI has %d calls", len(sti.Calls))
+		}
+		for _, c := range sti.Calls {
+			if c.Syscall < 0 || int(c.Syscall) >= len(k.Syscalls) {
+				t.Fatalf("bad syscall %d", c.Syscall)
+			}
+			sc := k.Syscalls[c.Syscall]
+			if len(c.Args) != sc.NumArgs {
+				t.Fatalf("syscall %s: %d args, want %d", sc.Name, len(c.Args), sc.NumArgs)
+			}
+			for _, a := range c.Args {
+				if a < 0 || a >= g.ArgRange {
+					t.Fatalf("arg %d out of range", a)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateUniqueIDs(t *testing.T) {
+	g := NewGenerator(testKernel(3), 4)
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		sti := g.Generate()
+		if seen[sti.ID] {
+			t.Fatalf("duplicate STI ID %d", sti.ID)
+		}
+		seen[sti.ID] = true
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	k := testKernel(5)
+	g1 := NewGenerator(k, 7)
+	g2 := NewGenerator(k, 7)
+	for i := 0; i < 50; i++ {
+		if g1.Generate().String() != g2.Generate().String() {
+			t.Fatal("generators with same seed diverged")
+		}
+	}
+}
+
+func TestGenerateFor(t *testing.T) {
+	k := testKernel(7)
+	g := NewGenerator(k, 9)
+	for i := 0; i < 50; i++ {
+		target := int32(i % len(k.Syscalls))
+		sti := g.GenerateFor(target)
+		last := sti.Calls[len(sti.Calls)-1]
+		if last.Syscall != target {
+			t.Fatalf("last call is sys%d, want sys%d", last.Syscall, target)
+		}
+	}
+}
+
+func TestMutatePreservesValidity(t *testing.T) {
+	k := testKernel(9)
+	g := NewGenerator(k, 11)
+	sti := g.Generate()
+	for i := 0; i < 300; i++ {
+		sti = g.Mutate(sti)
+		if len(sti.Calls) < 1 || len(sti.Calls) > g.MaxCalls {
+			t.Fatalf("mutation produced %d calls", len(sti.Calls))
+		}
+		for _, c := range sti.Calls {
+			sc := k.Syscalls[c.Syscall]
+			if len(c.Args) != sc.NumArgs {
+				t.Fatalf("mutation broke arg count for %s", sc.Name)
+			}
+		}
+	}
+}
+
+func TestMutateDoesNotAliasOriginal(t *testing.T) {
+	k := testKernel(11)
+	g := NewGenerator(k, 13)
+	sti := g.Generate()
+	orig := sti.String()
+	for i := 0; i < 50; i++ {
+		_ = g.Mutate(sti)
+	}
+	if sti.String() != orig {
+		t.Fatal("Mutate modified its input")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	k := testKernel(13)
+	g := NewGenerator(k, 15)
+	sti := g.Generate()
+	c := sti.Clone()
+	if len(c.Calls[0].Args) > 0 {
+		c.Calls[0].Args[0] = 999
+		if sti.Calls[0].Args[0] == 999 {
+			t.Fatal("Clone shares arg storage")
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	k := testKernel(15)
+	g := NewGenerator(k, 17)
+	s := g.Generate().String()
+	if !strings.HasPrefix(s, "sti") || !strings.Contains(s, "sys") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRunProfile(t *testing.T) {
+	k := testKernel(17)
+	g := NewGenerator(k, 19)
+	for i := 0; i < 50; i++ {
+		sti := g.Generate()
+		p, err := Run(k, sti)
+		if err != nil {
+			t.Fatalf("%s: %v", sti, err)
+		}
+		if p.Steps == 0 || len(p.BlockTrace) == 0 {
+			t.Fatalf("%s: empty profile", sti)
+		}
+		if p.CoveredCount() == 0 {
+			t.Fatalf("%s: no coverage", sti)
+		}
+		if len(p.InstrTrace) != p.Steps {
+			t.Fatalf("instr trace %d != steps %d", len(p.InstrTrace), p.Steps)
+		}
+		// Every block in the trace must be marked covered.
+		for _, b := range p.BlockTrace {
+			if !p.Covered[b] {
+				t.Fatalf("traced block %d not covered", b)
+			}
+		}
+		// First block must be the entry of the first syscall.
+		entry := k.Func(k.Syscalls[sti.Calls[0].Syscall].Fn).Blocks[0]
+		if p.BlockTrace[0] != entry {
+			t.Fatalf("trace starts at %d, want %d", p.BlockTrace[0], entry)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	k := testKernel(19)
+	g := NewGenerator(k, 21)
+	sti := g.Generate()
+	p1, err := Run(k, sti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Run(k, sti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Steps != p2.Steps || len(p1.Accesses) != len(p2.Accesses) {
+		t.Fatal("profiles differ between identical runs")
+	}
+}
+
+func TestControlEdgesConsecutive(t *testing.T) {
+	k := testKernel(21)
+	g := NewGenerator(k, 23)
+	sti := g.Generate()
+	p, err := Run(k, sti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := p.ControlEdges()
+	seen := map[[2]int32]int{}
+	for _, e := range edges {
+		seen[e]++
+		if seen[e] > 1 {
+			t.Fatalf("duplicate edge %v", e)
+		}
+	}
+	// Every edge endpoint must be covered.
+	for _, e := range edges {
+		if !p.Covered[e[0]] || !p.Covered[e[1]] {
+			t.Fatalf("edge %v touches uncovered block", e)
+		}
+	}
+}
+
+func TestAccessesOrdered(t *testing.T) {
+	k := testKernel(23)
+	g := NewGenerator(k, 25)
+	for i := 0; i < 20; i++ {
+		p, err := Run(k, g.Generate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(p.Accesses); j++ {
+			if p.Accesses[j].Step <= p.Accesses[j-1].Step {
+				t.Fatal("accesses out of order")
+			}
+		}
+	}
+}
+
+func TestPropertyRunNeverFails(t *testing.T) {
+	k := testKernel(29)
+	f := func(seed uint64) bool {
+		g := NewGenerator(k, seed)
+		for i := 0; i < 5; i++ {
+			if _, err := Run(k, g.Generate()); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

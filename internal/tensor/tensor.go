@@ -1,0 +1,251 @@
+// Package tensor provides the small dense linear-algebra core used by the
+// neural-network substrate.
+//
+// Matrices are row-major float64 with explicit dimensions. The operations
+// are exactly the ones the PIC model's forward and backward passes need:
+// matrix products in the three orientations (AB, AᵀB, ABᵀ), row/column
+// reductions, and elementwise maps. Everything is allocation-explicit so
+// training loops can reuse buffers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"snowcat/internal/xrand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromData wraps data (not copied) as a Rows×Cols matrix.
+func FromData(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set writes element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero clears all elements.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m (dimensions must match).
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("tensor: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// Randomize fills m with Glorot-style uniform noise scaled by the fan-in
+// and fan-out, using the deterministic rng.
+func (m *Matrix) Randomize(rng *xrand.RNG) {
+	scale := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// AddInPlace adds other elementwise into m.
+func (m *Matrix) AddInPlace(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies all elements by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddRowVec adds vector v (length Cols) to every row of m.
+func (m *Matrix) AddRowVec(v []float64) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVec length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, x := range v {
+			row[j] += x
+		}
+	}
+}
+
+// ColSumInto accumulates the column sums of m into dst (length Cols).
+func (m *Matrix) ColSumInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSumInto length mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for j, x := range row {
+			dst[j] += x
+		}
+	}
+}
+
+// MulInto computes dst = a·b. dst must be a.Rows×b.Cols and distinct from
+// both operands; it is overwritten.
+func MulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MulInto shapes %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	MulAddInto(dst, a, b)
+}
+
+// MulAddInto computes dst += a·b with the ikj loop order for cache
+// friendliness.
+func MulAddInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MulAddInto shape mismatch")
+	}
+	n, k2, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < k2; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := 0; j < p; j++ {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MulATBAddInto computes dst += aᵀ·b (a is n×r, b is n×c, dst is r×c).
+func MulATBAddInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MulATBAddInto shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(k)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulABTAddInto computes dst += a·bᵀ (a is n×c, b is m×c, dst is n×m).
+func MulABTAddInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MulABTAddInto shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// ReLUInPlace applies max(0, x) elementwise and records the active mask in
+// mask (same shape), for use by the backward pass.
+func (m *Matrix) ReLUInPlace(mask *Matrix) {
+	if mask.Rows != m.Rows || mask.Cols != m.Cols {
+		panic("tensor: ReLU mask shape mismatch")
+	}
+	for i, v := range m.Data {
+		if v > 0 {
+			mask.Data[i] = 1
+		} else {
+			mask.Data[i] = 0
+			m.Data[i] = 0
+		}
+	}
+}
+
+// MulMaskInPlace multiplies m elementwise by mask.
+func (m *Matrix) MulMaskInPlace(mask *Matrix) {
+	if mask.Rows != m.Rows || mask.Cols != m.Cols {
+		panic("tensor: mask shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] *= mask.Data[i]
+	}
+}
+
+// Sigmoid returns 1/(1+e^-x), numerically stable.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AXPY computes y += alpha*x.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

@@ -1,0 +1,260 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first values")
+	}
+}
+
+func TestSplitNamedStable(t *testing.T) {
+	r := New(7)
+	a := r.SplitNamed("kernel").Uint64()
+	b := r.SplitNamed("kernel").Uint64()
+	if a != b {
+		t.Fatal("SplitNamed not stable for same label")
+	}
+	c := r.SplitNamed("sti").Uint64()
+	if a == c {
+		t.Fatal("SplitNamed collision across labels")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 4)
+		if v < -3 || v > 4 {
+			t.Fatalf("IntRange out of range: %d", v)
+		}
+	}
+	if got := r.IntRange(9, 9); got != 9 {
+		t.Fatalf("degenerate range: got %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %g too far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(17)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %g", frac)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %g", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("bad permutation value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(29)
+	s := r.Sample(50, 10)
+	if len(s) != 10 {
+		t.Fatalf("expected 10 samples, got %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad sample %d", v)
+		}
+		seen[v] = true
+	}
+	if got := r.Sample(5, 10); len(got) != 5 {
+		t.Fatalf("oversized k should return n elements, got %d", len(got))
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(31)
+	counts := [3]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Choice([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %g, want ~3", ratio)
+	}
+}
+
+func TestChoiceZeroTotalUniform(t *testing.T) {
+	r := New(37)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Choice([]float64{0, 0, 0})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("zero-total Choice should be uniform over all indices, saw %v", seen)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(41)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(0.25)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("geometric(0.25) mean %g, want ~4", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(43)
+	if r.Geometric(0) != 1 || r.Geometric(1) != 1 || r.Geometric(1.5) != 1 {
+		t.Fatal("degenerate p should return 1")
+	}
+}
+
+func TestPropertyIntnInRange(t *testing.T) {
+	r := New(47)
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		rr := New(seed)
+		v := rr.Intn(int(n))
+		return v >= 0 && v < int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: nil}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestPropertyPermLength(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
