@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test test-race vet bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full paper-evaluation benchmark suite (heavyweight: trains models).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Parallel-layer benchmarks only (lightweight fixture).
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkPredictBatch|BenchmarkSweep' -benchtime 3x .

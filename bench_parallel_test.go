@@ -1,0 +1,109 @@
+// Benchmarks for the deterministic parallel execution layer: serial
+// versus pooled campaigns, batched PIC inference, and concurrent
+// hyperparameter sweeps. These use a lightweight fixture (no trained
+// paper models) so `go test -bench 'Campaign|PredictBatch|Sweep'` does
+// not pay for the heavyweight paper fixture.
+//
+// The speedup between the Serial and Parallel variants scales with
+// GOMAXPROCS; on a single-core machine the two are expected to be
+// within noise of each other (the parallel path adds only the pool's
+// scheduling overhead).
+package snowcat_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/dataset"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/pic"
+)
+
+type parFixtureT struct {
+	k            *kernel.Kernel
+	m            *pic.Model
+	tc           *pic.TokenCache
+	gs           []*ctgraph.Graph
+	train, valid []*pic.Example
+}
+
+var (
+	parOnce sync.Once
+	parFix  *parFixtureT
+)
+
+func getParFixture() *parFixtureT {
+	parOnce.Do(func() {
+		f := &parFixtureT{}
+		f.k = kernel.Generate(kernel.SmallConfig(201))
+		f.m = pic.New(pic.Config{Dim: 16, Layers: 2, LR: 3e-3, Epochs: 1, Seed: 202, PosWeight: 8})
+		f.tc = pic.NewTokenCache(f.k, f.m.Vocab)
+
+		col := dataset.NewCollector(f.k, 203)
+		ds, err := col.Collect(dataset.Config{Seed: 204, NumCTIs: 12, InterleavingsPerCTI: 6})
+		if err != nil {
+			panic(err)
+		}
+		exs := ds.Flatten()
+		for _, ex := range exs {
+			f.gs = append(f.gs, ex.G)
+		}
+		f.train, f.valid = exs[:len(exs)/2], exs[len(exs)/2:]
+		parFix = f
+	})
+	return parFix
+}
+
+func benchCampaign(b *testing.B, workers int) {
+	f := getParFixture()
+	r := campaign.NewRunner(f.k)
+	cfg := campaign.Config{
+		Name: "bench", Seed: 205, NumCTIs: 64,
+		Opts:     mlpct.Options{ExecBudget: 10, InferenceCap: 320, Batch: 32},
+		Cost:     campaign.PaperCosts(),
+		Parallel: workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.NumCPU()) }
+
+func BenchmarkPredictBatch(b *testing.B) {
+	f := getParFixture()
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.m.PredictAll(f.gs, f.tc, workers)
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU()) })
+}
+
+func BenchmarkSweep(b *testing.B) {
+	f := getParFixture()
+	configs := pic.DepthSweep(pic.Config{Dim: 8, Layers: 1, LR: 3e-3, Epochs: 1, Seed: 206, PosWeight: 8}, 1, 2, 3, 4)
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pic.SweepParallel(configs, f.train, f.valid, f.tc, 0, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU()) })
+}

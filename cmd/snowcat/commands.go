@@ -1,7 +1,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"snowcat/internal/campaign"
@@ -18,6 +20,12 @@ import (
 	"snowcat/internal/strategy"
 	"snowcat/internal/syz"
 )
+
+// parallelFlag registers the shared -parallel flag. Every parallel path is
+// deterministic, so the worker count changes wall-clock time only.
+func parallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", runtime.NumCPU(), "worker count for parallel phases (results are identical at any count)")
+}
 
 // kernelFromFlags builds a kernel at the requested size.
 func kernelFromFlags(seed uint64, size string) (*kernel.Kernel, kernel.GenConfig, error) {
@@ -67,6 +75,7 @@ func cmdCollect(args []string) error {
 	ctis := fs.Int("ctis", 50, "number of CTIs to collect")
 	inter := fs.Int("interleavings", 8, "interleavings per CTI")
 	out := fs.String("o", "", "save the dataset to this file (gob+gzip)")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +84,7 @@ func cmdCollect(args []string) error {
 		return err
 	}
 	col := dataset.NewCollector(k, *seed+1)
-	ds, err := col.Collect(dataset.Config{Seed: *seed + 2, NumCTIs: *ctis, InterleavingsPerCTI: *inter})
+	ds, err := col.Collect(dataset.Config{Seed: *seed + 2, NumCTIs: *ctis, InterleavingsPerCTI: *inter, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -104,6 +113,7 @@ func cmdTrain(args []string) error {
 	epochs := fs.Int("epochs", 3, "training epochs")
 	out := fs.String("o", "pic.gob", "output model file")
 	dsPath := fs.String("dataset", "", "train from a saved dataset instead of collecting")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,7 +136,7 @@ func cmdTrain(args []string) error {
 			Dim: *dim, Layers: *layers, LR: 3e-3, Epochs: *epochs,
 			Seed: *seed + 3, PosWeight: 8,
 		},
-		Data:           dataset.Config{Seed: *seed + 4, NumCTIs: *ctis, InterleavingsPerCTI: *inter},
+		Data:           dataset.Config{Seed: *seed + 4, NumCTIs: *ctis, InterleavingsPerCTI: *inter, Parallel: *par},
 		PretrainEpochs: 2,
 	})
 	if err != nil {
@@ -183,6 +193,7 @@ func cmdEval(args []string) error {
 	model := fs.String("model", "pic.gob", "model file")
 	ctis := fs.Int("ctis", 25, "evaluation CTIs")
 	inter := fs.Int("interleavings", 8, "interleavings per CTI")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,7 +207,7 @@ func cmdEval(args []string) error {
 	}
 	tc := pic.NewTokenCache(k, m.Vocab)
 	col := dataset.NewCollector(k, *seed+20)
-	ds, err := col.Collect(dataset.Config{Seed: *seed + 21, NumCTIs: *ctis, InterleavingsPerCTI: *inter})
+	ds, err := col.Collect(dataset.Config{Seed: *seed + 21, NumCTIs: *ctis, InterleavingsPerCTI: *inter, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -224,7 +235,7 @@ func (s asScorer) Score(g *ctgraph.Graph) []float64 { return s.p.Score(g) }
 // campaignOptions maps a per-CTI budget to explorer options with the
 // paper's 32x inference-to-execution oversampling ratio.
 func campaignOptions(budget int) mlpct.Options {
-	return mlpct.Options{ExecBudget: budget, InferenceCap: budget * 32}
+	return mlpct.Options{ExecBudget: budget, InferenceCap: budget * 32, Batch: 32}
 }
 
 func cmdCampaign(args []string) error {
@@ -233,6 +244,7 @@ func cmdCampaign(args []string) error {
 	model := fs.String("model", "pic.gob", "model file (used by MLPCT)")
 	ctis := fs.Int("ctis", 100, "CTIs in the stream")
 	budget := fs.Int("budget", 20, "dynamic executions per CTI")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -250,14 +262,14 @@ func cmdCampaign(args []string) error {
 	opts := campaignOptions(*budget)
 	pct, err := r.Run(campaign.Config{
 		Name: "PCT", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
-		Cost: campaign.PaperCosts(),
+		Cost: campaign.PaperCosts(), Parallel: *par,
 	})
 	if err != nil {
 		return err
 	}
 	ml, err := r.Run(campaign.Config{
 		Name: "MLPCT-S1", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
-		Cost: campaign.PaperCosts(),
+		Cost: campaign.PaperCosts(), Parallel: *par,
 		Pred: predictor.NewPIC(m, tc, "PIC"), Strat: strategy.NewS1(),
 	})
 	if err != nil {

@@ -7,12 +7,14 @@
 // on the same small budget — reproducing the Figure 5c–5f comparisons and
 // the paper's conclusion that fine-tuning amortises the training cost.
 //
-//	go run ./examples/continuous-testing
+//	go run ./examples/continuous-testing [-parallel N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"snowcat/internal/campaign"
 	"snowcat/internal/dataset"
@@ -23,6 +25,9 @@ import (
 )
 
 func main() {
+	par := flag.Int("parallel", runtime.NumCPU(), "worker count for collection and campaigns (results are identical at any count)")
+	flag.Parse()
+
 	base := kernel.SmallConfig(41)
 	base.Version = "v5.12"
 	k512 := kernel.Generate(base)
@@ -35,7 +40,7 @@ func main() {
 	pic5, err := campaign.Train(k512, campaign.TrainOptions{
 		Name:           "PIC-5",
 		Model:          pic.Config{Dim: 16, Layers: 3, LR: 3e-3, Epochs: 2, Seed: 44, PosWeight: 8},
-		Data:           dataset.Config{Seed: 45, NumCTIs: 35, InterleavingsPerCTI: 14},
+		Data:           dataset.Config{Seed: 45, NumCTIs: 35, InterleavingsPerCTI: 14, Parallel: *par},
 		PretrainEpochs: 2,
 		StartupHours:   1.0,
 	})
@@ -44,7 +49,7 @@ func main() {
 	}
 	fmt.Printf("PIC-5 trained on %s: %s\n\n", k512.Version, pic5.ValidReport)
 
-	smallData := dataset.Config{Seed: 46, NumCTIs: 10, InterleavingsPerCTI: 6}
+	smallData := dataset.Config{Seed: 46, NumCTIs: 10, InterleavingsPerCTI: 6, Parallel: *par}
 	for _, next := range []*kernel.Kernel{k513, k61} {
 		fmt.Printf("--- testing %s ---\n", next.Version)
 
@@ -69,8 +74,9 @@ func main() {
 		run := func(name string, tm *campaign.TrainedModel) {
 			cfg := campaign.Config{
 				Name: name, Seed: 48, NumCTIs: 80,
-				Opts: mlpct.Options{ExecBudget: 16, InferenceCap: 320},
-				Cost: campaign.PaperCosts(),
+				Opts:     mlpct.Options{ExecBudget: 16, InferenceCap: 320, Batch: 32},
+				Cost:     campaign.PaperCosts(),
+				Parallel: *par,
 			}
 			if tm != nil {
 				cfg.Cost = campaign.PaperCosts().WithStartup(tm.StartupHours)

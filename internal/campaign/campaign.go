@@ -8,12 +8,15 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/kernel"
 	"snowcat/internal/mlpct"
+	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
 	"snowcat/internal/race"
 	"snowcat/internal/ski"
@@ -22,11 +25,25 @@ import (
 	"snowcat/internal/xrand"
 )
 
+// ErrInvalidCost reports a cost model with a negative component, which
+// would silently run the simulated clock backwards.
+var ErrInvalidCost = errors.New("campaign: invalid cost model")
+
 // CostModel converts campaign events into simulated wall-clock seconds.
 type CostModel struct {
 	ExecSeconds  float64 // one dynamic execution (paper: 2.8)
 	InferSeconds float64 // one model inference (paper: 0.015)
 	StartupHours float64 // data collection + training charged up front
+}
+
+// Validate rejects cost models whose components are negative or NaN; both
+// would corrupt the monotonic simulated clock.
+func (c CostModel) Validate() error {
+	if !(c.ExecSeconds >= 0) || !(c.InferSeconds >= 0) || !(c.StartupHours >= 0) {
+		return fmt.Errorf("%w: ExecSeconds=%v InferSeconds=%v StartupHours=%v (all must be non-negative)",
+			ErrInvalidCost, c.ExecSeconds, c.InferSeconds, c.StartupHours)
+	}
+	return nil
 }
 
 // PaperCosts returns the §5.2.2 constants with no start-up charge.
@@ -97,6 +114,11 @@ type Config struct {
 	// nil runs plain PCT.
 	Pred  predictor.Predictor
 	Strat strategy.Strategy
+	// Parallel bounds the campaign worker pool (STI profiling, candidate
+	// scoring, and dynamic executions); <= 0 selects GOMAXPROCS. The
+	// history is identical for every worker count — see DESIGN.md,
+	// "Concurrency model".
+	Parallel int
 }
 
 // Runner executes campaigns over one kernel. The CTI stream is derived
@@ -114,63 +136,147 @@ func NewRunner(k *kernel.Kernel) *Runner {
 }
 
 // Run executes one campaign and returns its history.
+//
+// The run is split into phases so the expensive work shards across
+// c.Parallel workers while the history stays identical — draw for draw —
+// to the canonical sequential walk:
+//
+//  0. the CTI stream (STI pairs and per-CTI exploration seeds) is drawn
+//     sequentially, in exactly the order the serial loop drew it;
+//  1. STI profiling fans out per CTI;
+//  2. selection plans are built — in parallel for PCT (CTIs are
+//     independent), in canonical CTI order for MLPCT (the strategy's
+//     memory spans CTIs, §3.3), with candidate scoring fanned out inside
+//     each CTI;
+//  3. every planned (CTI, schedule) execution — and its race detection —
+//     fans out across CTIs in one flat pool;
+//  4. results fold sequentially in canonical order into the cumulative
+//     race/block/bug sets and the simulated clock.
 func (r *Runner) Run(c Config) (*History, error) {
 	if c.NumCTIs <= 0 {
 		return nil, fmt.Errorf("campaign: NumCTIs must be positive")
 	}
+	if err := c.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	workers := parallel.Workers(c.Parallel)
+	opts := c.Opts
+	if opts.Parallel <= 0 {
+		opts.Parallel = workers
+	}
+	exp := mlpct.NewExplorer(r.K, r.Builder, opts)
+
+	// Phase 0: canonical stream.
 	gen := syz.NewGenerator(r.K, c.Seed)
-	exp := mlpct.NewExplorer(r.K, r.Builder, c.Opts)
 	rng := xrand.New(c.Seed ^ 0x5eed)
-
-	hist := &History{Name: c.Name, BugsFound: make(map[int32]bool)}
-	races := race.NewSet()
-	blocks := make(map[int32]bool)
-	clock := c.Cost.StartupHours * 3600 // simulated seconds
-
-	for i := 0; i < c.NumCTIs; i++ {
+	type ctiJob struct {
+		cti  ski.CTI
+		seed uint64 // per-CTI exploration seed
+	}
+	jobs := make([]ctiJob, c.NumCTIs)
+	for i := range jobs {
 		a, b := gen.Generate(), gen.Generate()
-		cti := ski.CTI{ID: int64(i), A: a, B: b}
-		pa, err := syz.Run(r.K, a)
-		if err != nil {
-			return nil, err
-		}
-		pb, err := syz.Run(r.K, b)
-		if err != nil {
-			return nil, err
-		}
-		var out *mlpct.Outcome
-		if c.Pred != nil {
-			out, err = exp.ExploreMLPCT(cti, pa, pb, rng.Uint64(), c.Pred, c.Strat)
-		} else {
-			out, err = exp.ExplorePCT(cti, pa, pb, rng.Uint64())
-		}
-		if err != nil {
-			return nil, err
-		}
+		jobs[i] = ctiJob{cti: ski.CTI{ID: int64(i), A: a, B: b}, seed: rng.Uint64()}
+	}
 
-		for _, res := range out.Results {
-			races.Add(race.Detect(res))
-			for id, cov := range res.Covered {
+	// Phase 1: STI profiling.
+	type profiles struct{ pa, pb *syz.Profile }
+	profs, err := parallel.Map(workers, c.NumCTIs, func(i int) (profiles, error) {
+		pa, err := syz.Run(r.K, jobs[i].cti.A)
+		if err != nil {
+			return profiles{}, err
+		}
+		pb, err := syz.Run(r.K, jobs[i].cti.B)
+		if err != nil {
+			return profiles{}, err
+		}
+		return profiles{pa: pa, pb: pb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: selection plans.
+	var plans []*mlpct.Plan
+	if c.Pred != nil {
+		plans = make([]*mlpct.Plan, c.NumCTIs)
+		for i := range jobs {
+			plans[i] = exp.PlanMLPCT(jobs[i].cti, profs[i].pa, profs[i].pb, jobs[i].seed, c.Pred, c.Strat)
+		}
+	} else {
+		plans, err = parallel.Map(workers, c.NumCTIs, func(i int) (*mlpct.Plan, error) {
+			return exp.PlanPCT(jobs[i].cti, profs[i].pa, profs[i].pb, jobs[i].seed), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: dynamic executions, flattened across CTIs.
+	type execJob struct{ cti, sched int }
+	var flat []execJob
+	for i, p := range plans {
+		for j := range p.Scheds {
+			flat = append(flat, execJob{cti: i, sched: j})
+		}
+	}
+	type execResult struct {
+		res   *ski.Result
+		races []race.Race
+	}
+	execs, err := parallel.Map(workers, len(flat), func(k int) (execResult, error) {
+		j := flat[k]
+		res, err := ski.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
+		if err != nil {
+			return execResult{}, err
+		}
+		return execResult{res: res, races: race.Detect(res)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: canonical fold.
+	hist := &History{
+		Name:      c.Name,
+		Points:    make([]Point, 0, c.NumCTIs),
+		BugsFound: make(map[int32]bool),
+	}
+	races := race.NewSet()
+	blocks := make(map[int32]bool, r.K.NumBlocks())
+	clock := c.Cost.StartupHours * 3600 // simulated seconds
+	k := 0
+	for i, p := range plans {
+		pa, pb := profs[i].pa, profs[i].pb
+		for range p.Scheds {
+			e := execs[k]
+			k++
+			races.Add(e.races)
+			for id, cov := range e.res.Covered {
 				if cov && !pa.Covered[id] && !pb.Covered[id] {
 					blocks[int32(id)] = true
 				}
 			}
+			for _, bug := range e.res.BugsHit {
+				hist.BugsFound[bug] = true
+			}
 		}
-		for _, bug := range out.BugsHit {
-			hist.BugsFound[bug] = true
-		}
-		hist.TotalExecs += len(out.Results)
-		hist.TotalInfers += out.Inferences
+		hist.TotalExecs += len(p.Scheds)
+		hist.TotalInfers += p.Inferences
 		hist.CTIs++
 
-		clock += float64(len(out.Results))*c.Cost.ExecSeconds +
-			float64(out.Inferences)*c.Cost.InferSeconds
+		clock += float64(len(p.Scheds))*c.Cost.ExecSeconds +
+			float64(p.Inferences)*c.Cost.InferSeconds
 		hist.Points = append(hist.Points, Point{
 			Hours:  clock / 3600,
 			Races:  races.Size(),
 			Blocks: len(blocks),
 		})
 	}
+	// The per-CTI clock charges are non-negative (Validate), so Points are
+	// already in clock order; the stable sort is a guard that keeps the
+	// invariant explicit for future cost models.
+	sort.SliceStable(hist.Points, func(i, j int) bool { return hist.Points[i].Hours < hist.Points[j].Hours })
 	hist.FinalRaces = races.Size()
 	hist.FinalBlocks = len(blocks)
 	return hist, nil

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/predictor"
+	"snowcat/internal/strategy"
+)
+
+// TestRunParallelEquivalence pins the tentpole contract: a campaign
+// history is byte-identical for every worker count and proposal batch
+// size, for both explorers, across seeds.
+func TestRunParallelEquivalence(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(21))
+	r := NewRunner(k)
+	cases := []struct {
+		name  string
+		mlpct bool
+	}{
+		{name: "PCT", mlpct: false},
+		{name: "MLPCT", mlpct: true},
+	}
+	for _, tc := range cases {
+		for _, seed := range []uint64{2, 9} {
+			run := func(workers, batch int) *History {
+				t.Helper()
+				cfg := Config{
+					Name: tc.name, Seed: seed, NumCTIs: 6,
+					Opts:     mlpct.Options{ExecBudget: 5, InferenceCap: 30, Batch: batch},
+					Cost:     PaperCosts(),
+					Parallel: workers,
+				}
+				if tc.mlpct {
+					cfg.Pred = predictor.AllPos{}
+					cfg.Strat = strategy.NewS2()
+				}
+				h, err := r.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return h
+			}
+			canon := run(1, 1)
+			for _, workers := range []int{1, 2, 8} {
+				for _, batch := range []int{1, 7} {
+					if got := run(workers, batch); !reflect.DeepEqual(got, canon) {
+						t.Fatalf("%s seed=%d workers=%d batch=%d: history diverged from sequential", tc.name, seed, workers, batch)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalidCost(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(23))
+	r := NewRunner(k)
+	bad := []CostModel{
+		{ExecSeconds: -2.8},
+		{InferSeconds: -0.015},
+		{ExecSeconds: 2.8, StartupHours: -1},
+	}
+	for _, cost := range bad {
+		_, err := r.Run(Config{Name: "bad", Seed: 1, NumCTIs: 1, Opts: smallOpts(), Cost: cost})
+		if !errors.Is(err, ErrInvalidCost) {
+			t.Fatalf("cost %+v: err=%v, want ErrInvalidCost", cost, err)
+		}
+	}
+	if err := PaperCosts().Validate(); err != nil {
+		t.Fatalf("paper costs rejected: %v", err)
+	}
+}

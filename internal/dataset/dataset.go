@@ -13,6 +13,7 @@ import (
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/kernel"
+	"snowcat/internal/parallel"
 	"snowcat/internal/pic"
 	"snowcat/internal/race"
 	"snowcat/internal/ski"
@@ -29,6 +30,9 @@ type Config struct {
 	// sampled schedule (§6 extension; requires a kernel generated with
 	// NumIRQs > 0).
 	IRQsPerSchedule int
+	// Parallel bounds the collection worker pool; <= 0 selects GOMAXPROCS.
+	// The collected dataset is identical for every worker count.
+	Parallel int
 }
 
 // CTIGroup is all collected data for one CTI: its sequential profiles and
@@ -158,16 +162,35 @@ func (c *Collector) LabelOne(cti ski.CTI, pa, pb *syz.Profile, sched ski.Schedul
 // Collect gathers a dataset per cfg: cfg.NumCTIs random CTIs, up to
 // cfg.InterleavingsPerCTI unique interleavings each, every one dynamically
 // executed and labelled.
+//
+// The canonical random stream — STI pairs from the collector's generator
+// and one sampler seed per CTI — is drawn sequentially up front; the
+// expensive per-CTI work (profiling, sampling, execution, labelling) then
+// fans out to cfg.Parallel workers. CTIs share nothing, so the dataset is
+// identical to the sequential collection for every worker count.
 func (c *Collector) Collect(cfg Config) (*Dataset, error) {
 	rng := xrand.New(cfg.Seed)
-	ds := &Dataset{}
-	for i := 0; i < cfg.NumCTIs; i++ {
-		cti, pa, pb, err := c.NewCTI(int64(i))
+	type ctiJob struct {
+		cti  ski.CTI
+		seed uint64 // sampler seed
+	}
+	jobs := make([]ctiJob, cfg.NumCTIs)
+	for i := range jobs {
+		a, b := c.Gen.Generate(), c.Gen.Generate()
+		jobs[i] = ctiJob{cti: ski.CTI{ID: int64(i), A: a, B: b}, seed: rng.Uint64()}
+	}
+	groups, err := parallel.Map(parallel.Workers(cfg.Parallel), cfg.NumCTIs, func(i int) (*CTIGroup, error) {
+		cti := jobs[i].cti
+		pa, err := syz.Run(c.K, cti.A)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dataset: profiling A: %w", err)
+		}
+		pb, err := syz.Run(c.K, cti.B)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: profiling B: %w", err)
 		}
 		group := &CTIGroup{CTI: cti, ProfA: pa, ProfB: pb}
-		sampler := ski.NewSampler(pa, pb, rng.Uint64())
+		sampler := ski.NewSampler(pa, pb, jobs[i].seed)
 		seen := make(map[string]bool)
 		for j := 0; j < cfg.InterleavingsPerCTI; j++ {
 			var sched ski.Schedule
@@ -190,7 +213,10 @@ func (c *Collector) Collect(cfg Config) (*Dataset, error) {
 			}
 			group.Examples = append(group.Examples, ex)
 		}
-		ds.Groups = append(ds.Groups, group)
+		return group, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ds, nil
+	return &Dataset{Groups: groups}, nil
 }

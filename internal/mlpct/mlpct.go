@@ -8,6 +8,7 @@ package mlpct
 import (
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/kernel"
+	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
 	"snowcat/internal/race"
 	"snowcat/internal/ski"
@@ -18,8 +19,11 @@ import (
 // Prediction runs one model inference and packages it for the selection
 // strategies: thresholded labels plus raw scores.
 func Prediction(pred predictor.Predictor, g *ctgraph.Graph) strategy.Prediction {
-	scores := pred.Score(g)
-	th := pred.Threshold()
+	return asPrediction(pred.Score(g), pred.Threshold())
+}
+
+// asPrediction packages precomputed scores for the selection strategies.
+func asPrediction(scores []float64, th float64) strategy.Prediction {
 	labels := make([]bool, len(scores))
 	for i, s := range scores {
 		labels[i] = s >= th
@@ -32,10 +36,34 @@ func Prediction(pred predictor.Predictor, g *ctgraph.Graph) strategy.Prediction 
 type Options struct {
 	ExecBudget   int
 	InferenceCap int
+	// Batch is how many candidate schedules MLPCT proposes per round so
+	// their CT graphs can be built and scored as one batch; <= 0 means 1.
+	// The selection walk consumes candidates in proposal order and charges
+	// only consumed ones, so the outcome is identical for any batch size.
+	Batch int
+	// Parallel bounds the worker pool for graph building, batched
+	// inference, and dynamic executions; <= 0 means 1 (sequential).
+	Parallel int
 }
 
 // DefaultOptions mirrors the paper's §5.3.1 configuration.
-func DefaultOptions() Options { return Options{ExecBudget: 50, InferenceCap: 1600} }
+func DefaultOptions() Options { return Options{ExecBudget: 50, InferenceCap: 1600, Batch: 32} }
+
+// batch returns the effective proposal batch size.
+func (o Options) batch() int {
+	if o.Batch <= 0 {
+		return 1
+	}
+	return o.Batch
+}
+
+// workers returns the effective worker count.
+func (o Options) workers() int {
+	if o.Parallel <= 0 {
+		return 1
+	}
+	return o.Parallel
+}
 
 // Outcome reports one per-CTI exploration.
 type Outcome struct {
@@ -104,55 +132,121 @@ func NewExplorer(k *kernel.Kernel, b *ctgraph.Builder, opts Options) *Explorer {
 	return &Explorer{K: k, Builder: b, Opts: opts}
 }
 
-// ExplorePCT is the SKI baseline: execute the first ExecBudget unique
-// PCT-sampled schedules of the CTI.
-func (e *Explorer) ExplorePCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) (*Outcome, error) {
+// Plan is the outcome of one CTI's proposal/selection walk before any
+// dynamic execution: the schedules selected for execution, in selection
+// order, plus the walk's accounting. Selection never depends on execution
+// results, so a plan can be executed later — and concurrently with other
+// plans — without changing what was selected.
+type Plan struct {
+	CTI        ski.CTI
+	Scheds     []ski.Schedule
+	Proposed   int
+	Inferences int
+}
+
+// PlanPCT selects the first ExecBudget unique PCT-sampled schedules of the
+// CTI — the SKI baseline, where every proposal is executed.
+func (e *Explorer) PlanPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan {
 	sampler := ski.NewSampler(pa, pb, seed)
 	seen := make(map[string]bool)
-	out := &Outcome{}
-	for len(out.Results) < e.Opts.ExecBudget {
+	p := &Plan{CTI: cti}
+	for len(p.Scheds) < e.Opts.ExecBudget {
 		sched, ok := sampler.NextUnique(seen, 50)
 		if !ok {
 			break // interleaving space exhausted
 		}
-		out.Proposed++
-		res, err := ski.Execute(e.K, cti, sched)
-		if err != nil {
-			return nil, err
+		p.Proposed++
+		p.Scheds = append(p.Scheds, sched)
+	}
+	return p
+}
+
+// PlanMLPCT runs the model-guided selection walk: PCT proposals are scored
+// by the predictor and filtered by the strategy. The walk stops when the
+// execution budget is exhausted, the inference cap is hit, or the sampler
+// runs dry (§5.3.2 observes S2 often exhausts the inference cap before the
+// execution budget).
+//
+// Candidates are proposed Opts.Batch at a time so their CT graphs can be
+// built and scored on Opts.Parallel workers, but the strategy walks them
+// strictly in proposal order and the counters charge only the walked
+// prefix — a candidate past the budget/cap stopping point is discarded
+// unwalked, exactly as if it had never been proposed. The plan is
+// therefore identical for every batch size and worker count. The strategy
+// is mutated (its memory spans CTIs in campaigns), so calls sharing a
+// strategy must stay sequential.
+func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
+	pred predictor.Predictor, strat strategy.Strategy) *Plan {
+
+	sampler := ski.NewSampler(pa, pb, seed)
+	seen := make(map[string]bool)
+	p := &Plan{CTI: cti}
+	batch, workers := e.Opts.batch(), e.Opts.workers()
+	th := pred.Threshold()
+	cands := make([]ski.Schedule, 0, batch)
+	dry := false
+	for !dry && len(p.Scheds) < e.Opts.ExecBudget && p.Inferences < e.Opts.InferenceCap {
+		cands = cands[:0]
+		for len(cands) < batch {
+			sched, ok := sampler.NextUnique(seen, 50)
+			if !ok {
+				dry = true
+				break
+			}
+			cands = append(cands, sched)
 		}
-		out.addResult(res, sched)
+		if len(cands) == 0 {
+			break
+		}
+		graphs, err := parallel.Map(workers, len(cands), func(i int) (*ctgraph.Graph, error) {
+			return e.Builder.Build(cti, pa, pb, cands[i]), nil
+		})
+		if err != nil {
+			panic(err) // only a worker panic can land here; re-raise it
+		}
+		scores := predictor.ScoreAll(pred, graphs, workers)
+		for i, sched := range cands {
+			if len(p.Scheds) >= e.Opts.ExecBudget || p.Inferences >= e.Opts.InferenceCap {
+				break // unconsumed tail: the canonical walk stops here
+			}
+			p.Proposed++
+			p.Inferences++
+			if !strategy.Select(strat, graphs[i], asPrediction(scores[i], th)) {
+				continue // fruitless candidate: skip the dynamic execution
+			}
+			p.Scheds = append(p.Scheds, sched)
+		}
+	}
+	return p
+}
+
+// Execute runs every planned schedule on Opts.Parallel workers and folds
+// the results into an Outcome in selection order, so the outcome is
+// identical for any worker count.
+func (e *Explorer) Execute(p *Plan) (*Outcome, error) {
+	results, err := parallel.Map(e.Opts.workers(), len(p.Scheds), func(i int) (*ski.Result, error) {
+		return ski.Execute(e.K, p.CTI, p.Scheds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Proposed: p.Proposed, Inferences: p.Inferences}
+	for i, res := range results {
+		out.addResult(res, p.Scheds[i])
 	}
 	return out, nil
 }
 
+// ExplorePCT is the SKI baseline: execute the first ExecBudget unique
+// PCT-sampled schedules of the CTI.
+func (e *Explorer) ExplorePCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) (*Outcome, error) {
+	return e.Execute(e.PlanPCT(cti, pa, pb, seed))
+}
+
 // ExploreMLPCT is the model-guided variant: PCT proposals are scored by
 // the predictor and filtered by the strategy; only selected candidates are
-// executed. The walk stops when the execution budget is exhausted, the
-// inference cap is hit, or the sampler runs dry (§5.3.2 observes S2 often
-// exhausts the inference cap before the execution budget).
+// executed. See PlanMLPCT for the walk semantics.
 func (e *Explorer) ExploreMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 	pred predictor.Predictor, strat strategy.Strategy) (*Outcome, error) {
-
-	sampler := ski.NewSampler(pa, pb, seed)
-	seen := make(map[string]bool)
-	out := &Outcome{}
-	for len(out.Results) < e.Opts.ExecBudget && out.Inferences < e.Opts.InferenceCap {
-		sched, ok := sampler.NextUnique(seen, 50)
-		if !ok {
-			break
-		}
-		out.Proposed++
-		g := e.Builder.Build(cti, pa, pb, sched)
-		p := Prediction(pred, g)
-		out.Inferences++
-		if !strategy.Select(strat, g, p) {
-			continue // fruitless candidate: skip the dynamic execution
-		}
-		res, err := ski.Execute(e.K, cti, sched)
-		if err != nil {
-			return nil, err
-		}
-		out.addResult(res, sched)
-	}
-	return out, nil
+	return e.Execute(e.PlanMLPCT(cti, pa, pb, seed, pred, strat))
 }

@@ -1,0 +1,78 @@
+package mlpct
+
+import (
+	"reflect"
+	"testing"
+
+	"snowcat/internal/predictor"
+	"snowcat/internal/strategy"
+)
+
+// TestExploreInvariantToBatchAndWorkers pins the tentpole contract at the
+// explorer level: the outcome of a CTI exploration is identical for every
+// proposal batch size and worker count, because the selection walk always
+// consumes candidates in canonical proposal order.
+func TestExploreInvariantToBatchAndWorkers(t *testing.T) {
+	for _, seed := range []uint64{3, 13} {
+		base := newFixture(t, seed, Options{ExecBudget: 6, InferenceCap: 40})
+		cti, pa, pb := base.cti(t, 1)
+
+		canonPCT, err := base.exp.ExplorePCT(cti, pa, pb, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canonML, err := base.exp.ExploreMLPCT(cti, pa, pb, 5, predictor.AllPos{}, strategy.NewS2())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, batch := range []int{1, 3, 64} {
+			for _, workers := range []int{1, 2, 8} {
+				opts := Options{ExecBudget: 6, InferenceCap: 40, Batch: batch, Parallel: workers}
+				exp := NewExplorer(base.k, base.exp.Builder, opts)
+
+				pct, err := exp.ExplorePCT(cti, pa, pb, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(pct, canonPCT) {
+					t.Fatalf("seed=%d batch=%d workers=%d: PCT outcome diverged", seed, batch, workers)
+				}
+
+				ml, err := exp.ExploreMLPCT(cti, pa, pb, 5, predictor.AllPos{}, strategy.NewS2())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(ml, canonML) {
+					t.Fatalf("seed=%d batch=%d workers=%d: MLPCT outcome diverged (proposed %d/%d, inf %d/%d, execs %d/%d)",
+						seed, batch, workers, ml.Proposed, canonML.Proposed,
+						ml.Inferences, canonML.Inferences, len(ml.Results), len(canonML.Results))
+				}
+			}
+		}
+	}
+}
+
+// TestPlanMatchesExplore checks the plan/execute split: executing a plan
+// reproduces the one-shot exploration exactly.
+func TestPlanMatchesExplore(t *testing.T) {
+	f := newFixture(t, 7, Options{ExecBudget: 5, InferenceCap: 30})
+	cti, pa, pb := f.cti(t, 2)
+
+	plan := f.exp.PlanMLPCT(cti, pa, pb, 9, predictor.AllPos{}, strategy.NewS3(2))
+	out, err := f.exp.Execute(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.exp.ExploreMLPCT(cti, pa, pb, 9, predictor.AllPos{}, strategy.NewS3(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatal("plan+execute diverged from ExploreMLPCT")
+	}
+	if plan.Proposed != want.Proposed || plan.Inferences != want.Inferences || len(plan.Scheds) != len(want.Results) {
+		t.Fatalf("plan accounting %+v vs outcome (proposed %d, inf %d, execs %d)",
+			plan, want.Proposed, want.Inferences, len(want.Results))
+	}
+}

@@ -99,6 +99,8 @@ func (l *GCNLayer) Params() []*Param {
 
 // Forward computes H' for graph g with node features h (NumNodes×In),
 // caching intermediates for Backward. Returns a freshly allocated output.
+// The caches make Forward unsafe for concurrent use; inference paths that
+// share one model across goroutines must use Infer instead.
 func (l *GCNLayer) Forward(g *RelGraph, h *tensor.Matrix) *tensor.Matrix {
 	n := g.NumNodes
 	l.h = h
@@ -126,6 +128,28 @@ func (l *GCNLayer) Forward(g *RelGraph, h *tensor.Matrix) *tensor.Matrix {
 	l.mask = tensor.New(n, l.Out)
 	out.ReLUInPlace(l.mask)
 	return out
+}
+
+// Infer computes H' into out (NumNodes×Out) without touching the layer's
+// backward caches: it only reads the parameters, so any number of
+// goroutines may call Infer on one shared layer, each with its own out and
+// agg buffers. agg (NumNodes×In) is per-relation scratch, fully rewritten.
+// The operation order matches Forward exactly, so Infer's output is
+// bit-identical to Forward's.
+func (l *GCNLayer) Infer(g *RelGraph, h, out, agg *tensor.Matrix) {
+	tensor.MulInto(out, h, l.WSelf.Matrix())
+	out.AddRowVec(l.B.Val)
+	for r := range l.WRel {
+		if r >= g.NumRel() {
+			continue
+		}
+		agg.Zero()
+		for _, e := range g.Rel[r] {
+			tensor.AXPY(g.Norm[r][e.Dst], h.Row(int(e.Src)), agg.Row(int(e.Dst)))
+		}
+		tensor.MulAddInto(out, agg, l.WRel[r].Matrix())
+	}
+	out.ReLUInPlace(nil)
 }
 
 // Backward consumes the loss gradient w.r.t. this layer's output and

@@ -428,3 +428,26 @@ func BenchmarkGCNBackward(b *testing.B) {
 		l.Backward(g, d)
 	}
 }
+
+func TestGCNInferMatchesForward(t *testing.T) {
+	// Infer must be bit-identical to Forward — the parallel inference
+	// paths rely on it — including when its buffers are reused across
+	// calls with stale contents.
+	g := buildTestGraph()
+	rng := xrand.New(99)
+	l := NewGCNLayer("l", 3, 3, 2, rng)
+	h := tensor.New(4, 3)
+	h.Randomize(rng)
+
+	want := l.Forward(g, h)
+	out := tensor.New(4, 3)
+	agg := tensor.New(4, 3)
+	for trial := 0; trial < 2; trial++ { // second trial reuses dirty buffers
+		l.Infer(g, h, out, agg)
+		for i := range want.Data {
+			if out.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: Infer[%d] = %v, Forward = %v", trial, i, out.Data[i], want.Data[i])
+			}
+		}
+	}
+}

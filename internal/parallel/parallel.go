@@ -1,0 +1,142 @@
+// Package parallel provides the bounded worker pool that backs every
+// concurrent path in Snowcat: campaign sharding, batched model inference,
+// parallel hyperparameter sweeps, and dataset collection.
+//
+// The design constraint, shared by all callers, is determinism: a parallel
+// run must produce output identical to the sequential run. The pool
+// guarantees the structural half of that contract — results are delivered
+// in item order, every item runs exactly once, and the error returned is
+// the lowest-indexed one — so a caller is deterministic whenever its
+// per-item function is a pure function of the item index. Callers provide
+// the other half by deriving any per-item randomness from the item index
+// (or by precomputing a canonical stream) instead of sharing an RNG.
+//
+// Failure handling is deliberately simple: an item error does not cancel
+// the remaining items (they are cheap relative to the cost of losing
+// determinism), a panic in a worker is captured as a *PanicError instead
+// of crashing the process, and context cancellation is the one
+// non-deterministic escape hatch, reserved for caller-initiated shutdown.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is a panic recovered from a worker, carrying the item index
+// and the stack of the panicking goroutine.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Workers normalises a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the results in item order. workers <= 0 selects GOMAXPROCS;
+// workers == 1 runs inline with no goroutines (the canonical sequential
+// path that benchmarks compare against). All items run even when some
+// fail; the returned error is the lowest-indexed one, so error reporting
+// is deterministic too. Panics are captured as *PanicError values and
+// reported the same way.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return run(context.Background(), workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapContext is Map with cooperative cancellation: no new items start
+// after ctx is done, in-flight items finish, and ctx.Err() is returned
+// with the partial results. Cancellation is the one non-deterministic
+// path; callers that need bit-identical output must not cancel.
+func MapContext[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return run(ctx, workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkers is Map for callers that keep per-worker scratch state: fn
+// additionally receives the worker index in [0, min(workers, n)), and the
+// pool guarantees no two concurrent calls share a worker index — so
+// fn may freely reuse scratch buffers indexed by worker.
+func MapWorkers[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	return run(context.Background(), workers, n, fn)
+}
+
+// ForEach is Map for side-effecting items with no result value.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := run(context.Background(), workers, n, func(_, i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// run is the shared pool core: an atomic work counter hands item indices
+// to workers, results and errors land in index-addressed slices, and the
+// lowest-indexed error wins.
+func run[T any](ctx context.Context, workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	errs := make([]error, n)
+	call := func(worker, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		out[i], errs[i] = fn(worker, i)
+	}
+
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			call(0, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for worker := 0; worker < w; worker++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					call(worker, i)
+				}
+			}(worker)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

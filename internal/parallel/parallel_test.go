@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: len=%d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapRunsEveryItemAndReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var ran atomic.Int64
+		_, err := Map(workers, 20, func(i int) (int, error) {
+			ran.Add(1)
+			if i == 7 || i == 3 || i == 15 {
+				return 0, fmt.Errorf("item %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err=%v, want lowest-index error", workers, err)
+		}
+		if ran.Load() != 20 {
+			t.Fatalf("workers=%d: only %d items ran", workers, ran.Load())
+		}
+	}
+}
+
+func TestMapCapturesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 10, func(i int) (int, error) {
+			if i == 5 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err=%v, want *PanicError", workers, err)
+		}
+		if pe.Index != 5 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("panic error %+v", pe)
+		}
+		if !strings.Contains(pe.Error(), "item 5 panicked") {
+			t.Fatalf("message %q", pe.Error())
+		}
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	var once sync.Once
+	_, err := MapContext(ctx, 2, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		once.Do(cancel) // cancel after the first item starts
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n == 0 || n == 1000 {
+		t.Fatalf("ran %d items; cancellation should stop the pool early", n)
+	}
+}
+
+func TestMapWorkersIndexInRange(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int64
+	_, err := MapWorkers(workers, n, func(worker, i int) (int, error) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+		return worker, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("%d items saw an out-of-range worker index", bad.Load())
+	}
+}
+
+func TestMapWorkersScratchIsolation(t *testing.T) {
+	// Per-worker scratch must never be observed mid-use by another item:
+	// each item writes its index into the worker's cell and reads it back.
+	const workers, n = 8, 500
+	scratch := make([]int, workers)
+	out, err := MapWorkers(workers, n, func(worker, i int) (bool, error) {
+		scratch[worker] = i
+		for j := 0; j < 100; j++ { // give racing writers a window
+			if scratch[worker] != i {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range out {
+		if !ok {
+			t.Fatalf("item %d saw its worker scratch clobbered", i)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(3, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum=%d", sum.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("non-positive counts must normalise to >= 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("positive counts pass through")
+	}
+}

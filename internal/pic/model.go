@@ -26,6 +26,7 @@ import (
 	"snowcat/internal/kasm"
 	"snowcat/internal/kernel"
 	"snowcat/internal/nn"
+	"snowcat/internal/parallel"
 	"snowcat/internal/tensor"
 	"snowcat/internal/xrand"
 )
@@ -197,23 +198,61 @@ func relGraph(g *ctgraph.Graph) *nn.RelGraph {
 }
 
 // featCache carries the feature-assembly intermediates the backward pass
-// needs: per-vertex hint roles and the schedule-context path.
+// needs — per-vertex hint roles and the schedule-context path — plus the
+// scratch buffers that let inference reuse one cache across graphs.
 type featCache struct {
 	roles      []int          // hint role per vertex
 	hintTokens [][]int        // token lists of the hint source blocks
 	posRows    []int          // HintPos embedding rows used
 	ctx        *tensor.Matrix // 1×Dim schedule-context input
 	ctxOut     *tensor.Matrix // 1×Dim HintCtx output broadcast to all rows
+	tmp        []float64      // hint-embedding accumulation scratch
 	hasCtx     bool
 }
 
-// features assembles the input node-feature matrix: block embedding,
-// vertex-type embedding, hint-role embedding, and the broadcast
-// schedule-context vector.
-func (m *Model) features(g *ctgraph.Graph, tc *TokenCache) (*tensor.Matrix, *featCache) {
+// reset prepares the cache for a graph with n vertices at width dim,
+// reusing every buffer whose capacity suffices.
+func (fc *featCache) reset(n, dim int) {
+	if cap(fc.roles) < n {
+		fc.roles = make([]int, n)
+	} else {
+		fc.roles = fc.roles[:n]
+		for i := range fc.roles {
+			fc.roles[i] = hintNone
+		}
+	}
+	fc.hintTokens = fc.hintTokens[:0]
+	fc.posRows = fc.posRows[:0]
+	fc.ctx = ensureMat(fc.ctx, 1, dim)
+	fc.ctx.Zero()
+	fc.ctxOut = ensureMat(fc.ctxOut, 1, dim)
+	fc.ctxOut.Zero()
+	if cap(fc.tmp) < dim {
+		fc.tmp = make([]float64, dim)
+	}
+	fc.tmp = fc.tmp[:dim]
+	fc.hasCtx = false
+}
+
+// ensureMat returns a rows×cols matrix, reusing m's backing array when it
+// is large enough; contents are unspecified (callers overwrite or Zero).
+func ensureMat(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
+	if m == nil || cap(m.Data) < rows*cols {
+		return tensor.New(rows, cols)
+	}
+	m.Data = m.Data[:rows*cols]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// features assembles the input node-feature matrix into x (n×Dim): block
+// embedding, vertex-type embedding, hint-role embedding, and the broadcast
+// schedule-context vector. fc is reset and refilled, so one cache (and one
+// x) can be reused across graphs — the inference hot loop does.
+func (m *Model) features(g *ctgraph.Graph, tc *TokenCache, fc *featCache, x *tensor.Matrix) {
 	n := len(g.Vertices)
 	dim := m.Cfg.Dim
-	fc := &featCache{roles: make([]int, n)}
+	fc.reset(n, dim)
 	for _, e := range g.Edges {
 		if e.Type == ctgraph.Hint {
 			fc.roles[e.From] = hintSrc
@@ -226,8 +265,6 @@ func (m *Model) features(g *ctgraph.Graph, tc *TokenCache) (*tensor.Matrix, *fea
 	// Schedule context: mean assembly embedding of the hint source blocks
 	// plus bucketed trace-position embeddings (when each yield happens),
 	// transformed and added to every vertex.
-	fc.ctx = tensor.New(1, dim)
-	fc.ctxOut = tensor.New(1, dim)
 	for _, h := range g.Sched.Hints {
 		if vi := g.VertexOf(h.Ref.Block); vi >= 0 {
 			fc.hintTokens = append(fc.hintTokens, tc.IDs[g.Vertices[vi].Block])
@@ -242,11 +279,10 @@ func (m *Model) features(g *ctgraph.Graph, tc *TokenCache) (*tensor.Matrix, *fea
 	if len(fc.hintTokens) > 0 || len(fc.posRows) > 0 {
 		fc.hasCtx = true
 		if len(fc.hintTokens) > 0 {
-			tmp := make([]float64, dim)
 			inv := 1 / float64(len(fc.hintTokens))
 			for _, toks := range fc.hintTokens {
-				m.Enc.EncodeInto(toks, tmp)
-				tensor.AXPY(inv, tmp, fc.ctx.Row(0))
+				m.Enc.EncodeInto(toks, fc.tmp)
+				tensor.AXPY(inv, fc.tmp, fc.ctx.Row(0))
 			}
 		}
 		for _, row := range fc.posRows {
@@ -255,7 +291,6 @@ func (m *Model) features(g *ctgraph.Graph, tc *TokenCache) (*tensor.Matrix, *fea
 		m.HintCtx.Forward(fc.ctx, fc.ctxOut)
 	}
 
-	x := tensor.New(n, dim)
 	ctxRow := fc.ctxOut.Row(0)
 	for i, v := range g.Vertices {
 		row := x.Row(i)
@@ -264,7 +299,6 @@ func (m *Model) features(g *ctgraph.Graph, tc *TokenCache) (*tensor.Matrix, *fea
 		tensor.AXPY(1, m.HintRole.Row(fc.roles[i]), row)
 		tensor.AXPY(1, ctxRow, row)
 	}
-	return x, fc
 }
 
 // backwardFeatures propagates the input-feature gradient dh into the
@@ -301,10 +335,13 @@ func (m *Model) backwardFeatures(g *ctgraph.Graph, tc *TokenCache, fc *featCache
 }
 
 // forward runs the full model, returning the per-vertex logits and the
-// intermediates needed for backward.
+// intermediates needed for backward. This is the training path; it caches
+// state on the GCN layers, so it must not run concurrently on one model.
 func (m *Model) forward(g *ctgraph.Graph, tc *TokenCache) (logits *tensor.Matrix, rg *nn.RelGraph, acts []*tensor.Matrix, fc *featCache) {
 	rg = relGraph(g)
-	h, fc := m.features(g, tc)
+	fc = &featCache{}
+	h := tensor.New(len(g.Vertices), m.Cfg.Dim)
+	m.features(g, tc, fc, h)
 	acts = append(acts, h)
 	for _, l := range m.GCN {
 		h = l.Forward(rg, h)
@@ -315,12 +352,80 @@ func (m *Model) forward(g *ctgraph.Graph, tc *TokenCache) (logits *tensor.Matrix
 	return logits, rg, acts, fc
 }
 
+// Scratch holds the reusable buffers of one inference caller: the feature
+// cache, the GCN ping-pong activations, the per-relation aggregation
+// buffer, and the logits. A Scratch must not be shared between concurrent
+// goroutines; the model itself is read-only during inference, so any
+// number of workers may share one Model as long as each owns its Scratch.
+type Scratch struct {
+	fc     featCache
+	x, h   *tensor.Matrix
+	agg    *tensor.Matrix
+	logits *tensor.Matrix
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use and are
+// reused across graphs.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// inferLogits runs the inference-only forward pass using s's buffers,
+// returning a logits matrix owned by s (valid until the next call). The
+// operation order matches forward exactly, so the two paths produce
+// bit-identical probabilities.
+func (m *Model) inferLogits(g *ctgraph.Graph, tc *TokenCache, s *Scratch) *tensor.Matrix {
+	n := len(g.Vertices)
+	dim := m.Cfg.Dim
+	rg := relGraph(g)
+	s.x = ensureMat(s.x, n, dim)
+	s.h = ensureMat(s.h, n, dim)
+	s.agg = ensureMat(s.agg, n, dim)
+	s.logits = ensureMat(s.logits, n, 1)
+	m.features(g, tc, &s.fc, s.x)
+	in, out := s.x, s.h
+	for _, l := range m.GCN {
+		l.Infer(rg, in, out, s.agg)
+		in, out = out, in
+	}
+	m.Head.Forward(in, s.logits)
+	return s.logits
+}
+
 // Predict returns the per-vertex covered probabilities for a CT graph.
 func (m *Model) Predict(g *ctgraph.Graph, tc *TokenCache) []float64 {
-	logits, _, _, _ := m.forward(g, tc)
+	return m.PredictWith(g, tc, nil)
+}
+
+// PredictWith is Predict with an explicit scratch buffer, the allocation-
+// free hot path: all intermediates live in s and are reused across calls.
+// A nil scratch allocates a fresh one. The returned slice is freshly
+// allocated (it outlives the scratch).
+func (m *Model) PredictWith(g *ctgraph.Graph, tc *TokenCache, s *Scratch) []float64 {
+	if s == nil {
+		s = NewScratch()
+	}
+	logits := m.inferLogits(g, tc, s)
 	out := make([]float64, logits.Rows)
 	for i := range out {
 		out[i] = tensor.Sigmoid(logits.At(i, 0))
+	}
+	return out
+}
+
+// PredictAll scores many graphs, fanning out to at most workers goroutines
+// (<= 0 selects GOMAXPROCS). Inference only reads model parameters, so the
+// workers share the model; each owns a Scratch. The result is index-
+// aligned with gs and bit-identical to calling Predict per graph.
+func (m *Model) PredictAll(gs []*ctgraph.Graph, tc *TokenCache, workers int) [][]float64 {
+	w := parallel.Workers(workers)
+	scratches := make([]*Scratch, w)
+	for i := range scratches {
+		scratches[i] = NewScratch()
+	}
+	out, err := parallel.MapWorkers(w, len(gs), func(worker, i int) ([]float64, error) {
+		return m.PredictWith(gs[i], tc, scratches[worker]), nil
+	})
+	if err != nil {
+		panic(err) // only a worker panic can land here; re-raise it
 	}
 	return out
 }

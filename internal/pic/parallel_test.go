@@ -1,0 +1,95 @@
+package pic
+
+import (
+	"reflect"
+	"testing"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+)
+
+// graphsOf extracts the CT graphs of a collected example set.
+func graphsOf(exs []*Example) []*ctgraph.Graph {
+	gs := make([]*ctgraph.Graph, len(exs))
+	for i, ex := range exs {
+		gs[i] = ex.G
+	}
+	return gs
+}
+
+// TestPredictAllMatchesPredict pins batched inference to the sequential
+// path bit for bit, across worker counts, on an untrained (random-weight)
+// model — the strictest check, since any FP reordering would show.
+func TestPredictAllMatchesPredict(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(31))
+	m := New(tinyCfg(32))
+	tc := NewTokenCache(k, m.Vocab)
+	exs := collectExamples(t, k, 33, 4, 3)
+	if len(exs) == 0 {
+		t.Fatal("no examples")
+	}
+	gs := graphsOf(exs)
+
+	want := make([][]float64, len(gs))
+	for i, g := range gs {
+		want[i] = m.Predict(g, tc)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := m.PredictAll(gs, tc, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batched predictions diverged from Predict", workers)
+		}
+	}
+}
+
+// TestPredictWithReusedScratch checks that one scratch reused across many
+// graphs (of different sizes) never contaminates a later prediction.
+func TestPredictWithReusedScratch(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(35))
+	m := New(tinyCfg(36))
+	tc := NewTokenCache(k, m.Vocab)
+	exs := collectExamples(t, k, 37, 5, 2)
+	s := NewScratch()
+	for i, ex := range exs {
+		want := m.Predict(ex.G, tc)
+		got := m.PredictWith(ex.G, tc, s)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("graph %d: scratch-reusing prediction diverged", i)
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial pins the sweep ranking (and every result
+// field) across worker counts.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	k := kernel.Generate(kernel.SmallConfig(41))
+	m := New(tinyCfg(1))
+	tc := NewTokenCache(k, m.Vocab)
+	exs := collectExamples(t, k, 42, 6, 3)
+	if len(exs) < 4 {
+		t.Fatalf("only %d examples", len(exs))
+	}
+	train, valid := exs[:len(exs)/2], exs[len(exs)/2:]
+
+	base := Config{Dim: 8, Layers: 1, LR: 3e-3, Epochs: 1, Seed: 43, PosWeight: 8}
+	configs := DepthSweep(base, 1, 2, 3)
+	canon, err := SweepParallel(configs, train, valid, tc, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(canon) != len(configs) {
+		t.Fatalf("results = %d", len(canon))
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := SweepParallel(configs, train, valid, tc, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, canon) {
+			t.Fatalf("workers=%d: sweep results diverged from serial", workers)
+		}
+	}
+}

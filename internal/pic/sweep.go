@@ -3,6 +3,8 @@ package pic
 import (
 	"fmt"
 	"sort"
+
+	"snowcat/internal/parallel"
 )
 
 // SweepResult reports one hyperparameter trial of the §A.2-style search.
@@ -26,17 +28,28 @@ func (r SweepResult) String() string {
 // reproduces the paper's hyperparameter exploration (80 sets, §A.2) at
 // whatever scale the caller picks; the paper's headline observation —
 // deeper GNN stacks score higher because concurrent behaviour needs wider
-// graph context — is measurable by sweeping Layers.
+// graph context — is measurable by sweeping Layers. Trials run on
+// GOMAXPROCS workers; use SweepParallel to pick the worker count.
 func Sweep(configs []Config, train, valid []*Example, tc *TokenCache, pretrainEpochs int) ([]SweepResult, error) {
-	results := make([]SweepResult, 0, len(configs))
-	for _, cfg := range configs {
+	return SweepParallel(configs, train, valid, tc, pretrainEpochs, 0)
+}
+
+// SweepParallel is Sweep with an explicit worker count (<= 0 selects
+// GOMAXPROCS). Each trial owns its model and optimiser state and reads the
+// shared examples and token cache, so trials are independent; training is
+// seeded per config, so the results — including the sorted ranking, which
+// ties back to config order via the stable sort — are identical for every
+// worker count.
+func SweepParallel(configs []Config, train, valid []*Example, tc *TokenCache, pretrainEpochs, workers int) ([]SweepResult, error) {
+	results, err := parallel.Map(workers, len(configs), func(i int) (SweepResult, error) {
+		cfg := configs[i]
 		m := New(cfg)
 		if pretrainEpochs > 0 {
 			m.Pretrain(tc, pretrainEpochs, cfg.Seed^0xa2)
 		}
 		stats, err := m.Train(train, tc)
 		if err != nil {
-			return nil, fmt.Errorf("pic: sweep config %+v: %w", cfg, err)
+			return SweepResult{}, fmt.Errorf("pic: sweep config %+v: %w", cfg, err)
 		}
 		th := m.Tune(valid, tc)
 		rep := EvaluateScorer(m.AsScorer(tc), valid, th, URBOnly)
@@ -44,7 +57,10 @@ func Sweep(configs []Config, train, valid []*Example, tc *TokenCache, pretrainEp
 		if len(stats) > 0 {
 			res.TrainLoss = stats[len(stats)-1].Loss
 		}
-		results = append(results, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].AP > results[j].AP })
 	return results, nil

@@ -88,8 +88,9 @@ func (m *Model) trainN(examples []*Example, tc *TokenCache, epochs int, lr float
 func (m *Model) Tune(valid []*Example, tc *TokenCache) float64 {
 	var scores []float64
 	var labels []bool
+	s := NewScratch()
 	for _, ex := range valid {
-		probs := m.Predict(ex.G, tc)
+		probs := m.PredictWith(ex.G, tc, s)
 		for i, v := range ex.G.Vertices {
 			if v.Type == ctgraph.URB {
 				scores = append(scores, probs[i])
@@ -132,16 +133,20 @@ type Scorer interface {
 	Score(g *ctgraph.Graph) []float64
 }
 
-// modelScorer adapts Model+TokenCache to Scorer.
+// modelScorer adapts Model+TokenCache to Scorer, reusing one inference
+// scratch across Score calls.
 type modelScorer struct {
 	m  *Model
 	tc *TokenCache
+	s  *Scratch
 }
 
-func (s modelScorer) Score(g *ctgraph.Graph) []float64 { return s.m.Predict(g, s.tc) }
+func (s modelScorer) Score(g *ctgraph.Graph) []float64 { return s.m.PredictWith(g, s.tc, s.s) }
 
-// AsScorer adapts the model to the Scorer interface.
-func (m *Model) AsScorer(tc *TokenCache) Scorer { return modelScorer{m: m, tc: tc} }
+// AsScorer adapts the model to the Scorer interface. The returned scorer
+// owns a scratch buffer and is therefore not safe for concurrent use; give
+// each goroutine its own (sweep workers do).
+func (m *Model) AsScorer(tc *TokenCache) Scorer { return modelScorer{m: m, tc: tc, s: NewScratch()} }
 
 // EvaluateScorer computes the per-graph-averaged classification metrics of
 // a scorer at the given threshold over the filtered vertex population —

@@ -12,12 +12,17 @@ package predictor
 
 import (
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/parallel"
 	"snowcat/internal/pic"
 	"snowcat/internal/xrand"
 )
 
 // Predictor scores the vertices of a CT graph and carries the decision
-// threshold that converts scores to COVERED predictions.
+// threshold that converts scores to COVERED predictions. Score must be
+// safe for concurrent use — batch scoring fans graphs out to a worker
+// pool. Every predictor here satisfies that: PIC inference is read-only
+// over the model, and the coin baselines derive their randomness from the
+// graph identity.
 type Predictor interface {
 	// Score returns per-vertex positive probabilities.
 	Score(g *ctgraph.Graph) []float64
@@ -27,6 +32,14 @@ type Predictor interface {
 	Name() string
 }
 
+// BatchScorer is implemented by predictors with a native batch path that
+// beats scoring graphs one by one (the PIC's per-worker scratch reuse).
+type BatchScorer interface {
+	// ScoreBatch returns Score(g) for every graph, index-aligned with gs,
+	// using at most workers goroutines (<= 0 selects GOMAXPROCS).
+	ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64
+}
+
 // Predict applies the predictor's threshold to its scores.
 func Predict(p Predictor, g *ctgraph.Graph) []bool {
 	scores := p.Score(g)
@@ -34,6 +47,37 @@ func Predict(p Predictor, g *ctgraph.Graph) []bool {
 	out := make([]bool, len(scores))
 	for i, s := range scores {
 		out[i] = s >= th
+	}
+	return out
+}
+
+// ScoreAll scores every graph, using the predictor's native batch path
+// when it has one and a parallel map over Score otherwise. The result is
+// index-aligned with gs and identical to calling Score per graph.
+func ScoreAll(p Predictor, gs []*ctgraph.Graph, workers int) [][]float64 {
+	if b, ok := p.(BatchScorer); ok {
+		return b.ScoreBatch(gs, workers)
+	}
+	out, err := parallel.Map(workers, len(gs), func(i int) ([]float64, error) {
+		return p.Score(gs[i]), nil
+	})
+	if err != nil {
+		panic(err) // only a worker panic can land here; re-raise it
+	}
+	return out
+}
+
+// PredictBatch applies the predictor's threshold to ScoreAll.
+func PredictBatch(p Predictor, gs []*ctgraph.Graph, workers int) [][]bool {
+	scores := ScoreAll(p, gs, workers)
+	th := p.Threshold()
+	out := make([][]bool, len(scores))
+	for i, row := range scores {
+		labels := make([]bool, len(row))
+		for j, s := range row {
+			labels[j] = s >= th
+		}
+		out[i] = labels
 	}
 	return out
 }
@@ -57,6 +101,12 @@ func NewPIC(m *pic.Model, tc *pic.TokenCache, label string) *PIC {
 func (p *PIC) Score(g *ctgraph.Graph) []float64 { return p.Model.Predict(g, p.TC) }
 func (p *PIC) Threshold() float64               { return p.Model.Threshold }
 func (p *PIC) Name() string                     { return p.Label }
+
+// ScoreBatch implements BatchScorer via the model's scratch-reusing
+// parallel inference path.
+func (p *PIC) ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64 {
+	return p.Model.PredictAll(gs, p.TC, workers)
+}
 
 // AllPos predicts every vertex positive.
 type AllPos struct{}

@@ -194,8 +194,17 @@ func MulABTAddInto(dst, a, b *Matrix) {
 }
 
 // ReLUInPlace applies max(0, x) elementwise and records the active mask in
-// mask (same shape), for use by the backward pass.
+// mask (same shape), for use by the backward pass. A nil mask skips the
+// recording — the inference-only path, which has no backward pass.
 func (m *Matrix) ReLUInPlace(mask *Matrix) {
+	if mask == nil {
+		for i, v := range m.Data {
+			if v <= 0 {
+				m.Data[i] = 0
+			}
+		}
+		return
+	}
 	if mask.Rows != m.Rows || mask.Cols != m.Cols {
 		panic("tensor: ReLU mask shape mismatch")
 	}

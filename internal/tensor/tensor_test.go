@@ -284,3 +284,14 @@ func BenchmarkMulATBAddInto32(b *testing.B) {
 		MulATBAddInto(dst, x, g)
 	}
 }
+
+func TestReLUInPlaceNilMask(t *testing.T) {
+	m := FromData(1, 4, []float64{-1, 2, 0, 3})
+	m.ReLUInPlace(nil)
+	want := []float64{0, 2, 0, 3}
+	for i, v := range m.Data {
+		if v != want[i] {
+			t.Fatalf("data = %v, want %v", m.Data, want)
+		}
+	}
+}
