@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-parallel
+.PHONY: build test test-race vet bench bench-parallel bench-predict
 
 build:
 	$(GO) build ./...
 
-test:
+# Default gate: vet, the full suite, and the inference fast-path
+# equivalence tests again under the race detector (they drive the
+# base/context sharing across goroutines).
+test: vet
 	$(GO) test ./...
+	$(GO) test -race -run 'TestKernelsBitEqualReference|TestCSREquivalenceProperty|TestWithScheduleMatchesMonolithicBuild|TestBaseSharedAcrossGoroutines|TestBaseContextBitEqual|TestPredictAllCtxMatches|TestSweepPathsAgree' \
+		./internal/tensor ./internal/nn ./internal/ctgraph ./internal/pic .
 
 test-race:
 	$(GO) test -race ./...
@@ -21,3 +26,15 @@ bench:
 # Parallel-layer benchmarks only (lightweight fixture).
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkPredictBatch|BenchmarkSweep' -benchtime 3x .
+
+# Inference hot-path benchmarks; snapshots the numbers to BENCH_predict.json.
+bench-predict:
+	$(GO) test -run xxx -bench 'BenchmarkPredictOne$$|BenchmarkPredictOneBase$$|BenchmarkScheduleSweep$$|BenchmarkScheduleSweepBase$$' \
+		-benchmem -benchtime 2s . | tee bench_predict.out
+	awk 'BEGIN { print "[" } \
+		/^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $$2, $$3, $$5, $$7; \
+			sep=",\n" } \
+		END { print "\n]" }' bench_predict.out > BENCH_predict.json
+	rm -f bench_predict.out
+	cat BENCH_predict.json

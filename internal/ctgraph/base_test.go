@@ -1,0 +1,287 @@
+package ctgraph
+
+import (
+	"sync"
+	"testing"
+
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// refBuild is the monolithic graph construction the Base/WithSchedule split
+// replaced, kept verbatim as the reference implementation: the split must
+// reproduce it vertex by vertex and edge by edge for every schedule.
+func refBuild(b *Builder, cti ski.CTI, profA, profB *syz.Profile, sched ski.Schedule) *Graph {
+	g := &Graph{CTI: cti, Sched: sched, vidx: make(map[int32]int32)}
+
+	covered := make([]bool, b.K.NumBlocks())
+	for id := range covered {
+		covered[id] = profA.Covered[id] || profB.Covered[id]
+	}
+	for id := 0; id < len(covered); id++ {
+		if covered[id] {
+			g.vidx[int32(id)] = int32(len(g.Vertices))
+			g.Vertices = append(g.Vertices, Vertex{Block: int32(id), Type: SCB})
+		}
+	}
+
+	urbs := b.CFG.FindURBs(covered, b.HopLimit)
+	for _, u := range urbs.URBs {
+		g.vidx[u] = int32(len(g.Vertices))
+		g.Vertices = append(g.Vertices, Vertex{Block: u, Type: URB})
+	}
+	seenE := make(map[[3]int32]bool)
+	addEdge := func(from, to int32, t EdgeType) {
+		if b.Disabled[t] {
+			return
+		}
+		fi, ok1 := g.vidx[from]
+		ti, ok2 := g.vidx[to]
+		if !ok1 || !ok2 {
+			return
+		}
+		key := [3]int32{fi, ti, int32(t)}
+		if seenE[key] {
+			return
+		}
+		seenE[key] = true
+		g.Edges = append(g.Edges, Edge{From: fi, To: ti, Type: t})
+	}
+	for _, e := range urbs.Edges {
+		addEdge(e.From, e.To, URBFlow)
+	}
+	for _, p := range []*syz.Profile{profA, profB} {
+		for _, e := range p.ControlEdges() {
+			addEdge(e[0], e[1], SCBFlow)
+		}
+	}
+	for _, p := range []*syz.Profile{profA, profB} {
+		lastWrite := make(map[int32]int32)
+		for _, a := range p.Accesses {
+			if a.Write {
+				lastWrite[a.Addr] = a.Ref.Block
+			} else if w, ok := lastWrite[a.Addr]; ok {
+				addEdge(w, a.Ref.Block, IntraDF)
+			}
+		}
+	}
+	interDF(profA, profB, addEdge)
+	interDF(profB, profA, addEdge)
+
+	entry := [2]int32{-1, -1}
+	if len(profA.BlockTrace) > 0 {
+		entry[0] = profA.BlockTrace[0]
+	}
+	if len(profB.BlockTrace) > 0 {
+		entry[1] = profB.BlockTrace[0]
+	}
+	profs := [2]*syz.Profile{profA, profB}
+	for i, h := range sched.Hints {
+		var target int32
+		if i == 0 {
+			target = entry[1-h.Thread]
+		} else {
+			target = sched.Hints[i-1].Ref.Block
+		}
+		if target >= 0 {
+			addEdge(h.Ref.Block, target, Hint)
+		}
+		frac := -1.0
+		if p := profs[h.Thread]; len(p.InstrTrace) > 0 {
+			for pos, ref := range p.InstrTrace {
+				if ref == h.Ref {
+					frac = float64(pos) / float64(len(p.InstrTrace))
+					break
+				}
+			}
+		}
+		g.HintFrac = append(g.HintFrac, frac)
+	}
+
+	for _, q := range sched.IRQs {
+		if int(q.IRQ) >= len(b.K.IRQs) {
+			continue
+		}
+		fn := b.K.Func(b.K.IRQs[q.IRQ].Fn)
+		for _, bid := range fn.Blocks {
+			if _, ok := g.vidx[bid]; !ok {
+				g.vidx[bid] = int32(len(g.Vertices))
+				g.Vertices = append(g.Vertices, Vertex{Block: bid, Type: URB})
+			}
+		}
+		for _, bid := range fn.Blocks {
+			for _, succ := range b.CFG.Succs[bid] {
+				addEdge(bid, succ, URBFlow)
+			}
+		}
+		addEdge(q.Ref.Block, fn.Blocks[0], IRQEdge)
+	}
+
+	if b.ShortcutHops > 0 {
+		for _, p := range []*syz.Profile{profA, profB} {
+			for i := 0; i+b.ShortcutHops < len(p.BlockTrace); i++ {
+				addEdge(p.BlockTrace[i], p.BlockTrace[i+b.ShortcutHops], Shortcut)
+			}
+		}
+	}
+	return g
+}
+
+// graphsEqual compares the model-visible state of two graphs exactly,
+// including the order of vertices, edges, and hint fractions.
+func graphsEqual(t *testing.T, tag string, got, want *Graph) {
+	t.Helper()
+	if len(got.Vertices) != len(want.Vertices) {
+		t.Fatalf("%s: %d vertices, want %d", tag, len(got.Vertices), len(want.Vertices))
+	}
+	for i := range want.Vertices {
+		if got.Vertices[i] != want.Vertices[i] {
+			t.Fatalf("%s: vertex %d = %+v, want %+v", tag, i, got.Vertices[i], want.Vertices[i])
+		}
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("%s: %d edges, want %d", tag, len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("%s: edge %d = %+v, want %+v", tag, i, got.Edges[i], want.Edges[i])
+		}
+	}
+	if len(got.HintFrac) != len(want.HintFrac) {
+		t.Fatalf("%s: %d hint fracs, want %d", tag, len(got.HintFrac), len(want.HintFrac))
+	}
+	for i := range want.HintFrac {
+		if got.HintFrac[i] != want.HintFrac[i] {
+			t.Fatalf("%s: hint frac %d = %v, want %v", tag, i, got.HintFrac[i], want.HintFrac[i])
+		}
+	}
+	for _, v := range want.Vertices {
+		if got.VertexOf(v.Block) != want.VertexOf(v.Block) {
+			t.Fatalf("%s: VertexOf(%d) = %d, want %d",
+				tag, v.Block, got.VertexOf(v.Block), want.VertexOf(v.Block))
+		}
+	}
+}
+
+// schedVariants derives a family of schedules exercising every per-schedule
+// code path: sampled hint schedules, the empty schedule, a ghost hint that
+// never executed sequentially, and IRQ injections (valid and out of range).
+func schedVariants(f *fix, pa, pb *syz.Profile, seed uint64) []ski.Schedule {
+	s := ski.NewSampler(pa, pb, seed)
+	out := []ski.Schedule{s.Next(), s.Next(), s.Next(), {}}
+	ghost := ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: pb.InstrTrace[len(pb.InstrTrace)-1]}}}
+	out = append(out, ghost)
+	if len(f.k.IRQs) > 0 {
+		withIRQ := s.Next()
+		withIRQ.IRQs = []ski.IRQHint{{Thread: 0, Ref: pa.InstrTrace[0], IRQ: 0}}
+		out = append(out, withIRQ)
+		twoIRQ := ski.Schedule{IRQs: []ski.IRQHint{
+			{Thread: 0, Ref: pa.InstrTrace[0], IRQ: 0},
+			{Thread: 1, Ref: pb.InstrTrace[0], IRQ: 0}, // same handler twice: dedup path
+		}}
+		out = append(out, twoIRQ)
+	}
+	out = append(out, ski.Schedule{IRQs: []ski.IRQHint{{Thread: 0, Ref: pa.InstrTrace[0], IRQ: 9999}}})
+	return out
+}
+
+// TestWithScheduleMatchesMonolithicBuild is the refactor's equivalence
+// property test: for random CTIs and schedule families, BuildBase +
+// WithSchedule must reproduce the original monolithic construction
+// exactly, including with edge-type ablations active.
+func TestWithScheduleMatchesMonolithicBuild(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f := newFix(t, 100+seed)
+		cti, pa, pb, _ := f.ct(t, seed)
+		builders := []*Builder{f.b, f.b.WithoutEdges(Shortcut, Hint), f.b.WithoutEdges(InterDF, IRQEdge)}
+		for bi, b := range builders {
+			base := b.BuildBase(cti, pa, pb)
+			for si, sched := range schedVariants(f, pa, pb, seed) {
+				got := base.WithSchedule(sched)
+				want := refBuild(b, cti, pa, pb, sched)
+				graphsEqual(t, tagOf(seed, bi, si), got, want)
+				if !got.DerivedFrom(base) {
+					t.Fatalf("derived graph does not report its base")
+				}
+			}
+		}
+	}
+}
+
+func tagOf(seed uint64, bi, si int) string {
+	return string(rune('a'+seed)) + "/" + string(rune('0'+bi)) + "/" + string(rune('0'+si))
+}
+
+// TestBaseSharedAcrossGoroutines pins WithSchedule's concurrency contract:
+// one Base, many goroutines, including IRQ schedules that append vertices —
+// run under -race this detects any mutation of the shared skeleton.
+func TestBaseSharedAcrossGoroutines(t *testing.T) {
+	f := newFix(t, 301)
+	cti, pa, pb, _ := f.ct(t, 301)
+	base := f.b.BuildBase(cti, pa, pb)
+	scheds := schedVariants(f, pa, pb, 301)
+	want := make([]*Graph, len(scheds))
+	for i, s := range scheds {
+		want[i] = refBuild(f.b, cti, pa, pb, s)
+	}
+	errs := make(chan string, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, s := range scheds {
+				if !sameGraph(base.WithSchedule(s), want[i]) {
+					select {
+					case errs <- "concurrent WithSchedule diverged from reference":
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// sameGraph is the goroutine-safe boolean form of graphsEqual.
+func sameGraph(got, want *Graph) bool {
+	if len(got.Vertices) != len(want.Vertices) || len(got.Edges) != len(want.Edges) ||
+		len(got.HintFrac) != len(want.HintFrac) {
+		return false
+	}
+	for i := range want.Vertices {
+		if got.Vertices[i] != want.Vertices[i] {
+			return false
+		}
+	}
+	for i := range want.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			return false
+		}
+	}
+	for i := range want.HintFrac {
+		if got.HintFrac[i] != want.HintFrac[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDerivedFromDistinguishesBases guards the BaseContext validity check.
+func TestDerivedFromDistinguishesBases(t *testing.T) {
+	f := newFix(t, 303)
+	cti, pa, pb, sched := f.ct(t, 303)
+	b1 := f.b.BuildBase(cti, pa, pb)
+	b2 := f.b.BuildBase(cti, pa, pb)
+	g := b1.WithSchedule(sched)
+	if !g.DerivedFrom(b1) || g.DerivedFrom(b2) || g.DerivedFrom(nil) {
+		t.Fatal("DerivedFrom does not track the producing base")
+	}
+	if b1.NumVertices() != len(g.Vertices) && len(sched.IRQs) == 0 {
+		t.Fatal("base vertex count disagrees with derived graph")
+	}
+}

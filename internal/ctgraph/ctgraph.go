@@ -22,6 +22,7 @@ import (
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
 	"snowcat/internal/ski"
 	"snowcat/internal/syz"
 )
@@ -112,7 +113,13 @@ type Graph struct {
 	HintFrac []float64
 
 	vidx map[int32]int32 // block ID → vertex index
+	base *Base           // skeleton this graph was derived from (nil after gob)
 }
+
+// DerivedFrom reports whether the graph was produced by b.WithSchedule —
+// the validity check behind cross-schedule feature reuse (pic.BaseContext).
+// Graphs restored from gob report false (the link is not serialised).
+func (g *Graph) DerivedFrom(b *Base) bool { return b != nil && g.base == b }
 
 // VertexOf returns the vertex index of a block, or -1.
 func (g *Graph) VertexOf(block int32) int32 {
@@ -191,43 +198,83 @@ func NewBuilder(k *kernel.Kernel, g *cfg.Graph) *Builder {
 
 // Build constructs the CT graph for (cti, sched) from the two sequential
 // profiles. The profiles must be profiles of cti.A and cti.B.
+//
+// Build is BuildBase + WithSchedule; campaigns that score many candidate
+// schedules of one CTI should call BuildBase once and WithSchedule per
+// schedule, amortising the schedule-independent work.
 func (b *Builder) Build(cti ski.CTI, profA, profB *syz.Profile, sched ski.Schedule) *Graph {
-	g := &Graph{CTI: cti, Sched: sched, vidx: make(map[int32]int32)}
+	return b.BuildBase(cti, profA, profB).WithSchedule(sched)
+}
+
+// Base is the schedule-independent skeleton of a CTI's graphs: everything
+// Build derives from the two sequential profiles alone. Every candidate
+// schedule of the CTI shares the vertex set (modulo IRQ handler blocks),
+// the URBFlow/SCBFlow/IntraDF/InterDF edges, and the Shortcut edges; only
+// the Hint and IRQ populations vary. A Base is immutable once built, so
+// any number of goroutines may call WithSchedule concurrently.
+type Base struct {
+	CTI ski.CTI
+
+	b        *Builder
+	vertices []Vertex // len == cap: appends by derived graphs reallocate
+	preEdges []Edge   // URBFlow, SCBFlow, IntraDF, InterDF, in Build order
+	shortcut []Edge   // Shortcut edges; appended after the schedule edges
+	vidx     map[int32]int32
+	seen     map[[3]int32]bool // dedup keys of preEdges and shortcut
+	entry    [2]int32          // first trace block per thread, -1 if empty
+	frac     [2]map[sim.InstrRef]float64
+}
+
+// NumVertices returns the schedule-independent vertex count. Every graph
+// derived via WithSchedule has these vertices as its prefix (IRQ-carrying
+// schedules may append handler blocks after them).
+func (base *Base) NumVertices() int { return len(base.vertices) }
+
+// Vertices exposes the shared vertex prefix. Callers must not mutate it.
+func (base *Base) Vertices() []Vertex { return base.vertices }
+
+// BuildBase computes the schedule-independent part of the CT graph for a
+// CTI. The profiles must be profiles of cti.A and cti.B.
+func (b *Builder) BuildBase(cti ski.CTI, profA, profB *syz.Profile) *Base {
+	base := &Base{CTI: cti, b: b, vidx: make(map[int32]int32)}
 
 	// SCB vertices: union of the two sequential coverages, ascending ID.
 	covered := make([]bool, b.K.NumBlocks())
 	for id := range covered {
 		covered[id] = profA.Covered[id] || profB.Covered[id]
 	}
+	var vertices []Vertex
 	for id := 0; id < len(covered); id++ {
 		if covered[id] {
-			g.vidx[int32(id)] = int32(len(g.Vertices))
-			g.Vertices = append(g.Vertices, Vertex{Block: int32(id), Type: SCB})
+			base.vidx[int32(id)] = int32(len(vertices))
+			vertices = append(vertices, Vertex{Block: int32(id), Type: SCB})
 		}
 	}
 
 	// URB vertices and URB control-flow edges.
 	urbs := b.CFG.FindURBs(covered, b.HopLimit)
 	for _, u := range urbs.URBs {
-		g.vidx[u] = int32(len(g.Vertices))
-		g.Vertices = append(g.Vertices, Vertex{Block: u, Type: URB})
+		base.vidx[u] = int32(len(vertices))
+		vertices = append(vertices, Vertex{Block: u, Type: URB})
 	}
-	seenE := make(map[[3]int32]bool)
+	base.vertices = vertices[:len(vertices):len(vertices)]
+	base.seen = make(map[[3]int32]bool)
+	target := &base.preEdges
 	addEdge := func(from, to int32, t EdgeType) {
 		if b.Disabled[t] {
 			return
 		}
-		fi, ok1 := g.vidx[from]
-		ti, ok2 := g.vidx[to]
+		fi, ok1 := base.vidx[from]
+		ti, ok2 := base.vidx[to]
 		if !ok1 || !ok2 {
 			return
 		}
 		key := [3]int32{fi, ti, int32(t)}
-		if seenE[key] {
+		if base.seen[key] {
 			return
 		}
-		seenE[key] = true
-		g.Edges = append(g.Edges, Edge{From: fi, To: ti, Type: t})
+		base.seen[key] = true
+		*target = append(*target, Edge{From: fi, To: ti, Type: t})
 	}
 	for _, e := range urbs.Edges {
 		addEdge(e.From, e.To, URBFlow)
@@ -258,36 +305,99 @@ func (b *Builder) Build(cti ski.CTI, profA, profB *syz.Profile, sched ski.Schedu
 	interDF(profA, profB, addEdge)
 	interDF(profB, profA, addEdge)
 
+	// Shortcut densification over the dynamic block traces. The dedup key
+	// includes the edge type, so precomputing these under the shared seen
+	// set cannot interact with the per-schedule Hint/IRQ edges; they are
+	// emitted by WithSchedule after the schedule edges, exactly where the
+	// monolithic construction placed them. Shortcut endpoints are trace
+	// blocks (always SCB vertices), so later IRQ vertex additions cannot
+	// change which shortcut edges exist.
+	if b.ShortcutHops > 0 {
+		target = &base.shortcut
+		for _, p := range []*syz.Profile{profA, profB} {
+			for i := 0; i+b.ShortcutHops < len(p.BlockTrace); i++ {
+				addEdge(p.BlockTrace[i], p.BlockTrace[i+b.ShortcutHops], Shortcut)
+			}
+		}
+	}
+
+	// Per-thread entry blocks and first-occurrence trace fractions, the
+	// inputs of the per-schedule hint loop.
+	base.entry = [2]int32{-1, -1}
+	if len(profA.BlockTrace) > 0 {
+		base.entry[0] = profA.BlockTrace[0]
+	}
+	if len(profB.BlockTrace) > 0 {
+		base.entry[1] = profB.BlockTrace[0]
+	}
+	for th, p := range [2]*syz.Profile{profA, profB} {
+		m := make(map[sim.InstrRef]float64, len(p.InstrTrace))
+		n := float64(len(p.InstrTrace))
+		for pos, ref := range p.InstrTrace {
+			if _, ok := m[ref]; !ok {
+				m[ref] = float64(pos) / n
+			}
+		}
+		base.frac[th] = m
+	}
+	return base
+}
+
+// WithSchedule completes the skeleton into the CT graph of one candidate
+// schedule: the output is identical — vertex by vertex, edge by edge — to
+// what the monolithic Build produced for the same inputs. Only the Hint
+// edges, HintFrac entries, and IRQ vertices/edges are computed here; the
+// Base is read, never written, so concurrent calls are safe.
+func (base *Base) WithSchedule(sched ski.Schedule) *Graph {
+	b := base.b
+	g := &Graph{
+		CTI: base.CTI, Sched: sched,
+		Vertices: base.vertices,
+		vidx:     base.vidx,
+		base:     base,
+	}
+	g.Edges = make([]Edge, len(base.preEdges),
+		len(base.preEdges)+len(sched.Hints)+len(sched.IRQs)+len(base.shortcut))
+	copy(g.Edges, base.preEdges)
+
+	var seen map[[3]int32]bool // overlay over base.seen, allocated on demand
+	addEdge := func(from, to int32, t EdgeType) {
+		if b.Disabled[t] {
+			return
+		}
+		fi, ok1 := g.vidx[from]
+		ti, ok2 := g.vidx[to]
+		if !ok1 || !ok2 {
+			return
+		}
+		key := [3]int32{fi, ti, int32(t)}
+		if base.seen[key] || seen[key] {
+			return
+		}
+		if seen == nil {
+			seen = make(map[[3]int32]bool)
+		}
+		seen[key] = true
+		g.Edges = append(g.Edges, Edge{From: fi, To: ti, Type: t})
+	}
+
 	// Scheduling-hint edges (§3.1): the first hint yields to the other
 	// thread's entry block; each later hint yields back to the block of
 	// the previous hint (the resumption point).
-	entry := [2]int32{-1, -1}
-	if len(profA.BlockTrace) > 0 {
-		entry[0] = profA.BlockTrace[0]
-	}
-	if len(profB.BlockTrace) > 0 {
-		entry[1] = profB.BlockTrace[0]
-	}
-	profs := [2]*syz.Profile{profA, profB}
 	for i, h := range sched.Hints {
 		var target int32
 		if i == 0 {
-			target = entry[1-h.Thread]
+			target = base.entry[1-h.Thread]
 		} else {
 			target = sched.Hints[i-1].Ref.Block
 		}
 		if target >= 0 {
 			addEdge(h.Ref.Block, target, Hint)
 		}
-		// Record the hint's position within its thread's sequential trace.
-		frac := -1.0
-		if p := profs[h.Thread]; len(p.InstrTrace) > 0 {
-			for pos, ref := range p.InstrTrace {
-				if ref == h.Ref {
-					frac = float64(pos) / float64(len(p.InstrTrace))
-					break
-				}
-			}
+		// The hint's position within its thread's sequential trace.
+		frac, ok := base.frac[h.Thread][h.Ref]
+		if !ok {
+			frac = -1
 		}
 		g.HintFrac = append(g.HintFrac, frac)
 	}
@@ -295,34 +405,37 @@ func (b *Builder) Build(cti ski.CTI, profA, profB *syz.Profile, sched ski.Schedu
 	// Interrupt injections (§6 extension): the handler's blocks join the
 	// graph as URB vertices (they are never covered sequentially), wired
 	// with their static control flow, plus an IRQEdge from the injection
-	// point to the handler entry.
-	for _, q := range sched.IRQs {
-		if int(q.IRQ) >= len(b.K.IRQs) {
-			continue
+	// point to the handler entry. Adding vertices needs a private index,
+	// so the shared one is cloned first.
+	if len(sched.IRQs) > 0 {
+		vidx := make(map[int32]int32, len(base.vidx)+8)
+		for k, v := range base.vidx {
+			vidx[k] = v
 		}
-		fn := b.K.Func(b.K.IRQs[q.IRQ].Fn)
-		for _, bid := range fn.Blocks {
-			if _, ok := g.vidx[bid]; !ok {
-				g.vidx[bid] = int32(len(g.Vertices))
-				g.Vertices = append(g.Vertices, Vertex{Block: bid, Type: URB})
+		g.vidx = vidx
+		for _, q := range sched.IRQs {
+			if int(q.IRQ) >= len(b.K.IRQs) {
+				continue
 			}
-		}
-		for _, bid := range fn.Blocks {
-			for _, succ := range b.CFG.Succs[bid] {
-				addEdge(bid, succ, URBFlow)
+			fn := b.K.Func(b.K.IRQs[q.IRQ].Fn)
+			for _, bid := range fn.Blocks {
+				if _, ok := g.vidx[bid]; !ok {
+					g.vidx[bid] = int32(len(g.Vertices))
+					g.Vertices = append(g.Vertices, Vertex{Block: bid, Type: URB})
+				}
 			}
+			for _, bid := range fn.Blocks {
+				for _, succ := range b.CFG.Succs[bid] {
+					addEdge(bid, succ, URBFlow)
+				}
+			}
+			addEdge(q.Ref.Block, fn.Blocks[0], IRQEdge)
 		}
-		addEdge(q.Ref.Block, fn.Blocks[0], IRQEdge)
 	}
 
-	// Shortcut densification over the dynamic block traces.
-	if b.ShortcutHops > 0 {
-		for _, p := range []*syz.Profile{profA, profB} {
-			for i := 0; i+b.ShortcutHops < len(p.BlockTrace); i++ {
-				addEdge(p.BlockTrace[i], p.BlockTrace[i+b.ShortcutHops], Shortcut)
-			}
-		}
-	}
+	// Shortcut edges, precomputed by BuildBase (see the dedup argument
+	// there), take their original place after the schedule edges.
+	g.Edges = append(g.Edges, base.shortcut...)
 	return g
 }
 

@@ -145,13 +145,21 @@ func (c *Collector) NewCTI(id int64) (ski.CTI, *syz.Profile, *syz.Profile, error
 
 // LabelOne executes (cti, sched) dynamically and returns the labelled
 // example plus the raw execution result. Both the coverage labels and the
-// §6 data-flow labels are filled.
+// §6 data-flow labels are filled. Callers labelling many schedules of one
+// CTI should build the graph skeleton once and use LabelWithBase.
 func (c *Collector) LabelOne(cti ski.CTI, pa, pb *syz.Profile, sched ski.Schedule) (*pic.Example, *ski.Result, error) {
-	res, err := ski.Execute(c.K, cti, sched)
+	return c.LabelWithBase(c.Builder.BuildBase(cti, pa, pb), sched)
+}
+
+// LabelWithBase is LabelOne over a prebuilt schedule-independent skeleton,
+// amortising the per-CTI graph work across the CTI's schedules. The
+// labelled example is identical to LabelOne's.
+func (c *Collector) LabelWithBase(base *ctgraph.Base, sched ski.Schedule) (*pic.Example, *ski.Result, error) {
+	res, err := ski.Execute(c.K, base.CTI, sched)
 	if err != nil {
 		return nil, nil, err
 	}
-	g := c.Builder.Build(cti, pa, pb, sched)
+	g := base.WithSchedule(sched)
 	return &pic.Example{
 		G:     g,
 		Y:     ctgraph.Labels(g, res),
@@ -190,6 +198,7 @@ func (c *Collector) Collect(cfg Config) (*Dataset, error) {
 			return nil, fmt.Errorf("dataset: profiling B: %w", err)
 		}
 		group := &CTIGroup{CTI: cti, ProfA: pa, ProfB: pb}
+		base := c.Builder.BuildBase(cti, pa, pb)
 		sampler := ski.NewSampler(pa, pb, jobs[i].seed)
 		seen := make(map[string]bool)
 		for j := 0; j < cfg.InterleavingsPerCTI; j++ {
@@ -207,7 +216,7 @@ func (c *Collector) Collect(cfg Config) (*Dataset, error) {
 					break // interleaving space exhausted for this CTI
 				}
 			}
-			ex, _, err := c.LabelOne(cti, pa, pb, sched)
+			ex, _, err := c.LabelWithBase(base, sched)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: cti %d schedule %d: %w", i, j, err)
 			}

@@ -184,6 +184,13 @@ func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 	batch, workers := e.Opts.batch(), e.Opts.workers()
 	th := pred.Threshold()
 	cands := make([]ski.Schedule, 0, batch)
+	// The schedule-independent graph skeleton — and, for predictors that
+	// support it, the per-CTI inference context — is built once; every
+	// candidate schedule completes it. WithSchedule and ScoreBatch outputs
+	// are bit-identical to the per-candidate Build/Score they replace.
+	base := e.Builder.BuildBase(cti, pa, pb)
+	predictor.BeginCTI(pred, base)
+	defer predictor.EndCTI(pred)
 	dry := false
 	for !dry && len(p.Scheds) < e.Opts.ExecBudget && p.Inferences < e.Opts.InferenceCap {
 		cands = cands[:0]
@@ -199,7 +206,7 @@ func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 			break
 		}
 		graphs, err := parallel.Map(workers, len(cands), func(i int) (*ctgraph.Graph, error) {
-			return e.Builder.Build(cti, pa, pb, cands[i]), nil
+			return base.WithSchedule(cands[i]), nil
 		})
 		if err != nil {
 			panic(err) // only a worker panic can land here; re-raise it

@@ -17,42 +17,125 @@ type EdgePair struct {
 // graph's typed edges become relations 0..T-1; the reversed edges become
 // relations T..2T-1, so information flows both ways while the model can
 // still distinguish direction (e.g. writer→reader in a data-flow edge).
+//
+// Finalize additionally builds a CSR view of each relation — in-edges
+// grouped by destination with prefix offsets, preserving insertion order
+// within each destination — which turns Infer's scatter-AXPY into a
+// sequential per-row gather (no write contention, better cache locality)
+// while keeping the floating-point accumulation order of every aggregate
+// element identical to the edge-list walk.
 type RelGraph struct {
 	NumNodes int
 	Rel      [][]EdgePair // per relation
 	Norm     [][]float64  // per relation: 1/in-degree of each node
+
+	// CSR view, valid once finalized: for relation r, the sources of the
+	// in-edges of node d are csrSrc[r][csrOff[r][d]:csrOff[r][d+1]], in
+	// the order the edges were added.
+	csrOff    [][]int32
+	csrSrc    [][]int32
+	cursor    []int32 // Finalize scratch, reused across Reset cycles
+	finalized bool
 }
 
 // NewRelGraph builds a RelGraph with numRel relations over numNodes nodes.
 func NewRelGraph(numNodes, numRel int) *RelGraph {
-	return &RelGraph{
-		NumNodes: numNodes,
-		Rel:      make([][]EdgePair, numRel),
-		Norm:     make([][]float64, numRel),
+	g := &RelGraph{}
+	g.Reset(numNodes, numRel)
+	return g
+}
+
+// Reset prepares the graph for rebuilding with new dimensions, clearing
+// the finalized state and reusing every buffer whose capacity suffices —
+// the arena behaviour the inference hot path relies on (steady-state
+// rebuilds allocate nothing).
+func (g *RelGraph) Reset(numNodes, numRel int) {
+	g.NumNodes = numNodes
+	g.Rel = growSlices(g.Rel, numRel)
+	for r := range g.Rel {
+		g.Rel[r] = g.Rel[r][:0]
 	}
+	g.Norm = growSlices(g.Norm, numRel)
+	g.csrOff = growSlices(g.csrOff, numRel)
+	g.csrSrc = growSlices(g.csrSrc, numRel)
+	g.finalized = false
+}
+
+// growSlices resizes a slice-of-slices to length n, reusing capacity.
+func growSlices[T any](s [][]T, n int) [][]T {
+	if cap(s) < n {
+		ns := make([][]T, n)
+		copy(ns, s)
+		return ns
+	}
+	return s[:n]
+}
+
+// growI32 returns an int32 slice of length n reusing s's capacity.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // AddEdge inserts a directed edge under relation r.
 func (g *RelGraph) AddEdge(r int, src, dst int32) {
+	if g.finalized {
+		panic("nn: RelGraph.AddEdge after Finalize (Reset before rebuilding)")
+	}
 	g.Rel[r] = append(g.Rel[r], EdgePair{Src: src, Dst: dst})
 }
 
-// Finalize computes the normalisation terms; call after all AddEdge calls.
+// Finalize computes the normalisation terms and the CSR view; call once
+// after all AddEdge calls. Calling Finalize twice without an intervening
+// Reset panics — the graph is already finalized and a second pass would
+// only mask a caller that forgot to rebuild. Buffers from a previous
+// Reset cycle are reused, so steady-state rebuilds allocate nothing.
 func (g *RelGraph) Finalize() {
+	if g.finalized {
+		panic("nn: RelGraph.Finalize called twice (Reset before rebuilding)")
+	}
+	g.finalized = true
+	g.cursor = growI32(g.cursor, g.NumNodes)
 	for r := range g.Rel {
-		deg := make([]float64, g.NumNodes)
-		for _, e := range g.Rel[r] {
-			deg[e.Dst]++
+		edges := g.Rel[r]
+		off := growI32(g.csrOff[r], g.NumNodes+1)
+		for i := range off {
+			off[i] = 0
 		}
-		norm := make([]float64, g.NumNodes)
-		for i, d := range deg {
-			if d > 0 {
-				norm[i] = 1 / d
+		for _, e := range edges {
+			off[e.Dst+1]++
+		}
+		norm := g.Norm[r]
+		if cap(norm) < g.NumNodes {
+			norm = make([]float64, g.NumNodes)
+		} else {
+			norm = norm[:g.NumNodes]
+		}
+		for d := 0; d < g.NumNodes; d++ {
+			deg := off[d+1]
+			if deg > 0 {
+				norm[d] = 1 / float64(deg)
+			} else {
+				norm[d] = 0
 			}
+			off[d+1] += off[d]
+			g.cursor[d] = off[d]
+		}
+		src := growI32(g.csrSrc[r], len(edges))
+		for _, e := range edges {
+			src[g.cursor[e.Dst]] = e.Src
+			g.cursor[e.Dst]++
 		}
 		g.Norm[r] = norm
+		g.csrOff[r] = off
+		g.csrSrc[r] = src
 	}
 }
+
+// Finalized reports whether Finalize has run since the last Reset.
+func (g *RelGraph) Finalized() bool { return g.finalized }
 
 // NumRel returns the relation count.
 func (g *RelGraph) NumRel() int { return len(g.Rel) }
@@ -134,18 +217,46 @@ func (l *GCNLayer) Forward(g *RelGraph, h *tensor.Matrix) *tensor.Matrix {
 // backward caches: it only reads the parameters, so any number of
 // goroutines may call Infer on one shared layer, each with its own out and
 // agg buffers. agg (NumNodes×In) is per-relation scratch, fully rewritten.
-// The operation order matches Forward exactly, so Infer's output is
-// bit-identical to Forward's.
+//
+// The aggregation walks the finalized CSR view: a sequential gather per
+// destination row instead of Forward's scatter over the edge list. Each
+// aggregate element still accumulates its incoming terms in edge-insertion
+// order (CSR grouping is stable) and an edge-free relation contributes
+// exactly nothing (as an all-zero agg does under MulAddInto's zero-skip),
+// so Infer's output is bit-identical to Forward's.
 func (l *GCNLayer) Infer(g *RelGraph, h, out, agg *tensor.Matrix) {
+	if !g.finalized {
+		panic("nn: GCNLayer.Infer on a RelGraph that was not finalized")
+	}
 	tensor.MulInto(out, h, l.WSelf.Matrix())
 	out.AddRowVec(l.B.Val)
+	n := g.NumNodes
 	for r := range l.WRel {
 		if r >= g.NumRel() {
 			continue
 		}
+		off, src := g.csrOff[r], g.csrSrc[r]
+		if len(src) == 0 {
+			continue // no edges: the relation term is identically zero
+		}
 		agg.Zero()
-		for _, e := range g.Rel[r] {
-			tensor.AXPY(g.Norm[r][e.Dst], h.Row(int(e.Src)), agg.Row(int(e.Dst)))
+		norm := g.Norm[r]
+		for d := 0; d < n; d++ {
+			lo, hi := off[d], off[d+1]
+			if lo == hi {
+				continue
+			}
+			arow := agg.Row(d)
+			nd := norm[d]
+			// Gather in-edges two at a time; AXPY2 keeps the per-element
+			// accumulation in edge order, so pairing is bit-neutral.
+			e := lo
+			for ; e+1 < hi; e += 2 {
+				tensor.AXPY2(nd, h.Row(int(src[e])), nd, h.Row(int(src[e+1])), arow)
+			}
+			if e < hi {
+				tensor.AXPY(nd, h.Row(int(src[e])), arow)
+			}
 		}
 		tensor.MulAddInto(out, agg, l.WRel[r].Matrix())
 	}

@@ -18,14 +18,17 @@ import (
 )
 
 // Param is one learnable weight matrix (or vector, Rows==1) together with
-// its gradient accumulator and Adam moments. Fields are exported so models
-// serialise with encoding/gob.
+// its gradient accumulator and Adam moments. Exported fields serialise
+// with encoding/gob; the cached matrix views do not — call Rebind after
+// decoding (pic.Decode does).
 type Param struct {
 	Name       string
 	Rows, Cols int
 	Val        []float64
 	Grad       []float64
 	M, V       []float64 // Adam first/second moments
+
+	valView, gradView tensor.Matrix // cached views over Val/Grad
 }
 
 // NewParam allocates a parameter; when rng is non-nil the values are
@@ -38,17 +41,38 @@ func NewParam(name string, rows, cols int, rng *xrand.RNG) *Param {
 		M:    make([]float64, rows*cols),
 		V:    make([]float64, rows*cols),
 	}
+	p.Rebind()
 	if rng != nil {
 		p.Matrix().Randomize(rng)
 	}
 	return p
 }
 
-// Matrix returns the value as a matrix view (shared storage).
-func (p *Param) Matrix() *tensor.Matrix { return tensor.FromData(p.Rows, p.Cols, p.Val) }
+// Rebind (re)builds the cached matrix views. NewParam calls it; decoders
+// must call it after gob reconstruction, before any concurrent use —
+// Matrix/GradMatrix self-heal a missing view, but lazily, which is only
+// safe single-threaded.
+func (p *Param) Rebind() {
+	p.valView = tensor.Matrix{Rows: p.Rows, Cols: p.Cols, Data: p.Val}
+	p.gradView = tensor.Matrix{Rows: p.Rows, Cols: p.Cols, Data: p.Grad}
+}
+
+// Matrix returns the value as a matrix view (shared storage). The view is
+// cached, so the inference hot path calls this allocation-free.
+func (p *Param) Matrix() *tensor.Matrix {
+	if p.valView.Data == nil && p.Val != nil {
+		p.Rebind()
+	}
+	return &p.valView
+}
 
 // GradMatrix returns the gradient as a matrix view (shared storage).
-func (p *Param) GradMatrix() *tensor.Matrix { return tensor.FromData(p.Rows, p.Cols, p.Grad) }
+func (p *Param) GradMatrix() *tensor.Matrix {
+	if p.gradView.Data == nil && p.Grad != nil {
+		p.Rebind()
+	}
+	return &p.gradView
+}
 
 // ZeroGrad clears the gradient accumulator.
 func (p *Param) ZeroGrad() {

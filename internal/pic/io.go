@@ -26,6 +26,16 @@ func Decode(data []byte) (*Model, error) {
 	if m.Vocab != nil {
 		m.Vocab.Rebind()
 	}
+	// Rebuild the cached parameter views gob left behind, before the model
+	// can reach the concurrent inference paths.
+	for _, p := range m.Params() {
+		p.Rebind()
+	}
+	if m.DFHead != nil {
+		for _, p := range m.DFHead.Params() {
+			p.Rebind()
+		}
+	}
 	return &m, nil
 }
 

@@ -188,13 +188,56 @@ func (m *Model) NumParams() int {
 // relGraph converts a CT graph into the GCN adjacency: relation t carries
 // the forward edges of edge type t, relation NumEdgeTypes+t the reverses.
 func relGraph(g *ctgraph.Graph) *nn.RelGraph {
-	rg := nn.NewRelGraph(len(g.Vertices), NumRelations)
+	return relGraphInto(nil, g)
+}
+
+// relGraphInto is relGraph with buffer reuse: a non-nil rg is Reset and
+// rebuilt in place, so the steady-state inference loop converts graphs to
+// adjacencies without allocating.
+func relGraphInto(rg *nn.RelGraph, g *ctgraph.Graph) *nn.RelGraph {
+	if rg == nil {
+		rg = nn.NewRelGraph(len(g.Vertices), NumRelations)
+	} else {
+		rg.Reset(len(g.Vertices), NumRelations)
+	}
 	for _, e := range g.Edges {
 		rg.AddEdge(int(e.Type), e.From, e.To)
 		rg.AddEdge(ctgraph.NumEdgeTypes+int(e.Type), e.To, e.From)
 	}
 	rg.Finalize()
 	return rg
+}
+
+// BaseContext is the per-CTI inference context: the schedule-independent
+// part of the node-feature matrix — assembly-encoder output plus
+// vertex-type embedding for every vertex of a ctgraph.Base — computed once
+// and reused across every candidate schedule of the CTI. Only the
+// hint-role, hint-position, and hint-context features vary per schedule,
+// and those are re-applied on top of a copy of the precomputed rows, in
+// the same op order as the from-scratch assembly, so predictions are
+// bit-identical with and without a context.
+//
+// A BaseContext is immutable; any number of goroutines may share one. It
+// is keyed to the Base it was built from: graphs not derived from that
+// Base (checked via ctgraph.Graph.DerivedFrom) fall back to the full
+// feature computation, so a stale context degrades to slow, never wrong.
+// Rebuild after any model-parameter update — the precomputed rows bake in
+// the encoder and type-embedding weights.
+type BaseContext struct {
+	base   *ctgraph.Base
+	static *tensor.Matrix // NumVertices×Dim: encoder + vertex-type rows
+}
+
+// NewBaseContext precomputes the schedule-independent feature rows for
+// every vertex of base.
+func (m *Model) NewBaseContext(base *ctgraph.Base, tc *TokenCache) *BaseContext {
+	static := tensor.New(base.NumVertices(), m.Cfg.Dim)
+	for i, v := range base.Vertices() {
+		row := static.Row(i)
+		m.Enc.EncodeInto(tc.IDs[v.Block], row)
+		tensor.AXPY(1, m.VType.Row(int(v.Type)), row)
+	}
+	return &BaseContext{base: base, static: static}
 }
 
 // featCache carries the feature-assembly intermediates the backward pass
@@ -248,8 +291,11 @@ func ensureMat(m *tensor.Matrix, rows, cols int) *tensor.Matrix {
 // features assembles the input node-feature matrix into x (n×Dim): block
 // embedding, vertex-type embedding, hint-role embedding, and the broadcast
 // schedule-context vector. fc is reset and refilled, so one cache (and one
-// x) can be reused across graphs — the inference hot loop does.
-func (m *Model) features(g *ctgraph.Graph, tc *TokenCache, fc *featCache, x *tensor.Matrix) {
+// x) can be reused across graphs — the inference hot loop does. A non-nil
+// bc whose Base produced g supplies the encoder+type rows precomputed;
+// vertices past the base prefix (IRQ handler blocks) and graphs from other
+// bases are computed from scratch.
+func (m *Model) features(g *ctgraph.Graph, tc *TokenCache, fc *featCache, x *tensor.Matrix, bc *BaseContext) {
 	n := len(g.Vertices)
 	dim := m.Cfg.Dim
 	fc.reset(n, dim)
@@ -291,11 +337,19 @@ func (m *Model) features(g *ctgraph.Graph, tc *TokenCache, fc *featCache, x *ten
 		m.HintCtx.Forward(fc.ctx, fc.ctxOut)
 	}
 
+	baseN := 0
+	if bc != nil && g.DerivedFrom(bc.base) {
+		baseN = bc.static.Rows
+	}
 	ctxRow := fc.ctxOut.Row(0)
 	for i, v := range g.Vertices {
 		row := x.Row(i)
-		m.Enc.EncodeInto(tc.IDs[v.Block], row)
-		tensor.AXPY(1, m.VType.Row(int(v.Type)), row)
+		if i < baseN {
+			copy(row, bc.static.Row(i))
+		} else {
+			m.Enc.EncodeInto(tc.IDs[v.Block], row)
+			tensor.AXPY(1, m.VType.Row(int(v.Type)), row)
+		}
 		tensor.AXPY(1, m.HintRole.Row(fc.roles[i]), row)
 		tensor.AXPY(1, ctxRow, row)
 	}
@@ -341,7 +395,7 @@ func (m *Model) forward(g *ctgraph.Graph, tc *TokenCache) (logits *tensor.Matrix
 	rg = relGraph(g)
 	fc = &featCache{}
 	h := tensor.New(len(g.Vertices), m.Cfg.Dim)
-	m.features(g, tc, fc, h)
+	m.features(g, tc, fc, h, nil)
 	acts = append(acts, h)
 	for _, l := range m.GCN {
 		h = l.Forward(rg, h)
@@ -352,12 +406,15 @@ func (m *Model) forward(g *ctgraph.Graph, tc *TokenCache) (logits *tensor.Matrix
 	return logits, rg, acts, fc
 }
 
-// Scratch holds the reusable buffers of one inference caller: the feature
+// Scratch is the inference arena of one caller: the adjacency, the feature
 // cache, the GCN ping-pong activations, the per-relation aggregation
-// buffer, and the logits. A Scratch must not be shared between concurrent
-// goroutines; the model itself is read-only during inference, so any
-// number of workers may share one Model as long as each owns its Scratch.
+// buffer, and the logits all live here and are reused across calls, so
+// steady-state prediction allocates nothing. A Scratch must not be shared
+// between concurrent goroutines; the model itself is read-only during
+// inference, so any number of workers may share one Model as long as each
+// owns its Scratch.
 type Scratch struct {
+	rg     *nn.RelGraph
 	fc     featCache
 	x, h   *tensor.Matrix
 	agg    *tensor.Matrix
@@ -371,19 +428,20 @@ func NewScratch() *Scratch { return &Scratch{} }
 // inferLogits runs the inference-only forward pass using s's buffers,
 // returning a logits matrix owned by s (valid until the next call). The
 // operation order matches forward exactly, so the two paths produce
-// bit-identical probabilities.
-func (m *Model) inferLogits(g *ctgraph.Graph, tc *TokenCache, s *Scratch) *tensor.Matrix {
+// bit-identical probabilities; a BaseContext (which may be nil) only
+// substitutes precomputed feature rows, never changes an op.
+func (m *Model) inferLogits(g *ctgraph.Graph, tc *TokenCache, s *Scratch, bc *BaseContext) *tensor.Matrix {
 	n := len(g.Vertices)
 	dim := m.Cfg.Dim
-	rg := relGraph(g)
+	s.rg = relGraphInto(s.rg, g)
 	s.x = ensureMat(s.x, n, dim)
 	s.h = ensureMat(s.h, n, dim)
 	s.agg = ensureMat(s.agg, n, dim)
 	s.logits = ensureMat(s.logits, n, 1)
-	m.features(g, tc, &s.fc, s.x)
+	m.features(g, tc, &s.fc, s.x, bc)
 	in, out := s.x, s.h
 	for _, l := range m.GCN {
-		l.Infer(rg, in, out, s.agg)
+		l.Infer(s.rg, in, out, s.agg)
 		in, out = out, in
 	}
 	m.Head.Forward(in, s.logits)
@@ -395,20 +453,33 @@ func (m *Model) Predict(g *ctgraph.Graph, tc *TokenCache) []float64 {
 	return m.PredictWith(g, tc, nil)
 }
 
-// PredictWith is Predict with an explicit scratch buffer, the allocation-
-// free hot path: all intermediates live in s and are reused across calls.
-// A nil scratch allocates a fresh one. The returned slice is freshly
-// allocated (it outlives the scratch).
+// PredictWith is Predict with an explicit scratch buffer. The returned
+// slice is freshly allocated (it outlives the scratch); the fully
+// allocation-free path is PredictInto.
 func (m *Model) PredictWith(g *ctgraph.Graph, tc *TokenCache, s *Scratch) []float64 {
+	return m.PredictInto(nil, g, tc, s, nil)
+}
+
+// PredictInto is the hot-path Predict: intermediates live in s (nil
+// allocates a fresh one), dst's capacity is reused for the result, and a
+// non-nil bc supplies the CTI's precomputed schedule-independent features.
+// With a warm scratch and a capacious dst the steady state performs zero
+// allocations. The probabilities are bit-identical to Predict's for every
+// (s, dst, bc) combination.
+func (m *Model) PredictInto(dst []float64, g *ctgraph.Graph, tc *TokenCache, s *Scratch, bc *BaseContext) []float64 {
 	if s == nil {
 		s = NewScratch()
 	}
-	logits := m.inferLogits(g, tc, s)
-	out := make([]float64, logits.Rows)
-	for i := range out {
-		out[i] = tensor.Sigmoid(logits.At(i, 0))
+	logits := m.inferLogits(g, tc, s, bc)
+	if cap(dst) < logits.Rows {
+		dst = make([]float64, logits.Rows)
+	} else {
+		dst = dst[:logits.Rows]
 	}
-	return out
+	for i := range dst {
+		dst[i] = tensor.Sigmoid(logits.At(i, 0))
+	}
+	return dst
 }
 
 // PredictAll scores many graphs, fanning out to at most workers goroutines
@@ -416,13 +487,20 @@ func (m *Model) PredictWith(g *ctgraph.Graph, tc *TokenCache, s *Scratch) []floa
 // workers share the model; each owns a Scratch. The result is index-
 // aligned with gs and bit-identical to calling Predict per graph.
 func (m *Model) PredictAll(gs []*ctgraph.Graph, tc *TokenCache, workers int) [][]float64 {
+	return m.PredictAllCtx(gs, tc, workers, nil)
+}
+
+// PredictAllCtx is PredictAll with a shared per-CTI BaseContext (nil is
+// allowed; graphs not derived from the context's Base are computed in
+// full). The context is read-only, so all workers share it.
+func (m *Model) PredictAllCtx(gs []*ctgraph.Graph, tc *TokenCache, workers int, bc *BaseContext) [][]float64 {
 	w := parallel.Workers(workers)
 	scratches := make([]*Scratch, w)
 	for i := range scratches {
 		scratches[i] = NewScratch()
 	}
 	out, err := parallel.MapWorkers(w, len(gs), func(worker, i int) ([]float64, error) {
-		return m.PredictWith(gs[i], tc, scratches[worker]), nil
+		return m.PredictInto(nil, gs[i], tc, scratches[worker], bc), nil
 	})
 	if err != nil {
 		panic(err) // only a worker panic can land here; re-raise it

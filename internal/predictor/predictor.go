@@ -40,6 +40,34 @@ type BatchScorer interface {
 	ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64
 }
 
+// CTIScorer is implemented by predictors that can precompute per-CTI state
+// shared by every candidate schedule of one CTI (the PIC's BaseContext).
+// BeginCTI/EndCTI bracket the scoring of one CTI's graphs; scores are
+// identical with or without the bracketing — it is purely an amortisation.
+// BeginCTI and EndCTI mutate the predictor, so they must not race with
+// Score/ScoreBatch calls; callers keep the per-CTI walk sequential (as
+// mlpct.PlanMLPCT does) and fan out only inside a bracket.
+type CTIScorer interface {
+	// BeginCTI announces that subsequent graphs derive from base.
+	BeginCTI(base *ctgraph.Base)
+	// EndCTI releases the per-CTI state.
+	EndCTI()
+}
+
+// BeginCTI forwards to p's CTIScorer if it has one; a no-op otherwise.
+func BeginCTI(p Predictor, base *ctgraph.Base) {
+	if c, ok := p.(CTIScorer); ok {
+		c.BeginCTI(base)
+	}
+}
+
+// EndCTI forwards to p's CTIScorer if it has one; a no-op otherwise.
+func EndCTI(p Predictor) {
+	if c, ok := p.(CTIScorer); ok {
+		c.EndCTI()
+	}
+}
+
 // Predict applies the predictor's threshold to its scores.
 func Predict(p Predictor, g *ctgraph.Graph) []bool {
 	scores := p.Score(g)
@@ -88,6 +116,8 @@ type PIC struct {
 	Model *pic.Model
 	TC    *pic.TokenCache
 	Label string
+
+	bc *pic.BaseContext // per-CTI context between BeginCTI and EndCTI
 }
 
 // NewPIC wraps a trained model.
@@ -102,10 +132,19 @@ func (p *PIC) Score(g *ctgraph.Graph) []float64 { return p.Model.Predict(g, p.TC
 func (p *PIC) Threshold() float64               { return p.Model.Threshold }
 func (p *PIC) Name() string                     { return p.Label }
 
+// BeginCTI implements CTIScorer: it precomputes the schedule-independent
+// feature rows once, amortised across every candidate schedule the CTI's
+// scoring will see. Scores are bit-identical with or without it.
+func (p *PIC) BeginCTI(base *ctgraph.Base) { p.bc = p.Model.NewBaseContext(base, p.TC) }
+
+// EndCTI implements CTIScorer, dropping the per-CTI context.
+func (p *PIC) EndCTI() { p.bc = nil }
+
 // ScoreBatch implements BatchScorer via the model's scratch-reusing
-// parallel inference path.
+// parallel inference path, reusing the active per-CTI context if one is
+// bracketed in.
 func (p *PIC) ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64 {
-	return p.Model.PredictAll(gs, p.TC, workers)
+	return p.Model.PredictAllCtx(gs, p.TC, workers, p.bc)
 }
 
 // AllPos predicts every vertex positive.

@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"testing"
+
+	"snowcat/internal/xrand"
+)
+
+// Reference implementations: the plain loops the optimised kernels
+// replaced. The hot-path invariant is bit-equality, not tolerance — the
+// unrolled kernels must accumulate each element in the identical float64
+// op order.
+
+func refMulAddInto(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				dst.Set(i, j, dst.At(i, j)+aik*b.At(k, j))
+			}
+		}
+	}
+}
+
+func refMulATBAddInto(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				dst.Set(k, j, dst.At(k, j)+av*b.At(i, j))
+			}
+		}
+	}
+}
+
+func refMulABTAddInto(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			dst.Set(i, j, dst.At(i, j)+s)
+		}
+	}
+}
+
+func randMat(rng *xrand.RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		// Mix in exact zeros to exercise the zero-skip branches.
+		if rng.Intn(5) == 0 {
+			continue
+		}
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// TestKernelsBitEqualReference drives the unrolled matmul kernels and
+// AXPY against the reference loops over random shapes (including the
+// unroll remainders 1..3) and requires bit-identical output.
+func TestKernelsBitEqualReference(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(9)
+		k := 1 + rng.Intn(9)
+		p := 1 + rng.Intn(9)
+
+		a := randMat(rng, n, k)
+		b := randMat(rng, k, p)
+		got, want := randMat(rng, n, p), New(n, p)
+		copy(want.Data, got.Data)
+		MulAddInto(got, a, b)
+		refMulAddInto(want, a, b)
+		for i, v := range got.Data {
+			if v != want.Data[i] {
+				t.Fatalf("trial %d: MulAddInto[%d] = %v, reference %v", trial, i, v, want.Data[i])
+			}
+		}
+
+		at := randMat(rng, n, k) // aᵀ·b: a is n×k, b is n×p, dst k×p
+		bt := randMat(rng, n, p)
+		got2, want2 := randMat(rng, k, p), New(k, p)
+		copy(want2.Data, got2.Data)
+		MulATBAddInto(got2, at, bt)
+		refMulATBAddInto(want2, at, bt)
+		for i, v := range got2.Data {
+			if v != want2.Data[i] {
+				t.Fatalf("trial %d: MulATBAddInto[%d] = %v, reference %v", trial, i, v, want2.Data[i])
+			}
+		}
+
+		ab := randMat(rng, n, k) // a·bᵀ: a is n×k, b is p×k, dst n×p
+		bb := randMat(rng, p, k)
+		got3, want3 := randMat(rng, n, p), New(n, p)
+		copy(want3.Data, got3.Data)
+		MulABTAddInto(got3, ab, bb)
+		refMulABTAddInto(want3, ab, bb)
+		for i, v := range got3.Data {
+			if v != want3.Data[i] {
+				t.Fatalf("trial %d: MulABTAddInto[%d] = %v, reference %v", trial, i, v, want3.Data[i])
+			}
+		}
+
+		// AXPY against the plain loop, across remainder lengths.
+		ln := 1 + rng.Intn(13)
+		alpha := rng.Float64()*2 - 1
+		x := make([]float64, ln)
+		y1 := make([]float64, ln)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			y1[i] = rng.Float64()*2 - 1
+		}
+		y2 := append([]float64(nil), y1...)
+		AXPY(alpha, x, y1)
+		for i, v := range x {
+			y2[i] += alpha * v
+		}
+		for i := range y1 {
+			if y1[i] != y2[i] {
+				t.Fatalf("trial %d: AXPY[%d] = %v, reference %v", trial, i, y1[i], y2[i])
+			}
+		}
+
+		// AXPY2 against two sequential plain loops — the fused pass must
+		// keep the per-element accumulation order of the separate calls.
+		a2 := rng.Float64()*2 - 1
+		xb := make([]float64, ln)
+		for i := range xb {
+			xb[i] = rng.Float64()*2 - 1
+		}
+		y3 := append([]float64(nil), y2...)
+		AXPY2(alpha, x, a2, xb, y2)
+		for i, v := range x {
+			y3[i] += alpha * v
+		}
+		for i, v := range xb {
+			y3[i] += a2 * v
+		}
+		for i := range y2 {
+			if y2[i] != y3[i] {
+				t.Fatalf("trial %d: AXPY2[%d] = %v, reference %v", trial, i, y2[i], y3[i])
+			}
+		}
+	}
+}

@@ -100,7 +100,7 @@ func (m *Matrix) AddRowVec(v []float64) {
 		panic("tensor: AddRowVec length mismatch")
 	}
 	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
+		row := m.Row(r)[:len(v)]
 		for j, x := range v {
 			row[j] += x
 		}
@@ -114,6 +114,7 @@ func (m *Matrix) ColSumInto(dst []float64) {
 	}
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
+		dst := dst[:len(row)]
 		for j, x := range row {
 			dst[j] += x
 		}
@@ -132,58 +133,123 @@ func MulInto(dst, a, b *Matrix) {
 }
 
 // MulAddInto computes dst += a·b with the ikj loop order for cache
-// friendliness.
+// friendliness. The inner loop is the 4-way unrolled, bounds-check-free
+// axpyRow; every dst element still receives exactly one accumulate per k,
+// in ascending k order, so the result is bit-identical to the plain
+// triple loop.
 func MulAddInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MulAddInto shape mismatch")
 	}
 	n, k2, p := a.Rows, a.Cols, b.Cols
+	ad, bd, dd := a.Data, b.Data, dst.Data
 	for i := 0; i < n; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < k2; k++ {
-			aik := arow[k]
+		arow := ad[i*k2 : i*k2+k2]
+		drow := dd[i*p : i*p+p]
+		// Pair up the nonzero a-coefficients so each pair shares one pass
+		// over drow (axpyRow2); the zero-skip and the ascending-k per-element
+		// accumulation order are exactly those of the unpaired loop.
+		pk := -1
+		for k, aik := range arow {
 			if aik == 0 {
 				continue
 			}
-			brow := b.Row(k)
-			for j := 0; j < p; j++ {
-				drow[j] += aik * brow[j]
+			if pk < 0 {
+				pk = k
+				continue
 			}
+			axpyRow2(arow[pk], bd[pk*p:pk*p+p], aik, bd[k*p:k*p+p], drow)
+			pk = -1
+		}
+		if pk >= 0 {
+			axpyRow(arow[pk], bd[pk*p:pk*p+p], drow)
 		}
 	}
 }
 
+// axpyRow2 fuses two consecutive axpyRow calls over the same destination:
+// y += a1*x1 then y += a2*x2, with y loaded and stored once per element.
+// Per element the two accumulates still execute in sequence —
+// (y + a1*x1) + a2*x2 — so the result is bit-identical to the two separate
+// calls; the fusion only halves the loop overhead and the y traffic.
+// Callers must have proven len(x1) == len(x2) == len(y).
+func axpyRow2(a1 float64, x1 []float64, a2 float64, x2 []float64, y []float64) {
+	for len(x1) >= 4 && len(x2) >= 4 && len(y) >= 4 {
+		x1q := x1[:4]
+		x2q := x2[:4]
+		yq := y[:4]
+		yq[0] = (yq[0] + a1*x1q[0]) + a2*x2q[0]
+		yq[1] = (yq[1] + a1*x1q[1]) + a2*x2q[1]
+		yq[2] = (yq[2] + a1*x1q[2]) + a2*x2q[2]
+		yq[3] = (yq[3] + a1*x1q[3]) + a2*x2q[3]
+		x1 = x1[4:]
+		x2 = x2[4:]
+		y = y[4:]
+	}
+	y = y[:len(x1)]
+	x2 = x2[:len(x1)]
+	for i, v := range x1 {
+		y[i] = (y[i] + a1*v) + a2*x2[i]
+	}
+}
+
+// axpyRow is AXPY without the cold length validation, for callers that
+// have already proven len(x) == len(y). The subslice walk keeps the body
+// free of bounds checks (verified with -gcflags=-d=ssa/check_bce); each
+// element receives exactly one accumulate, so unrolling is bit-neutral.
+func axpyRow(alpha float64, x, y []float64) {
+	for len(x) >= 4 && len(y) >= 4 {
+		xq := x[:4]
+		yq := y[:4]
+		yq[0] += alpha * xq[0]
+		yq[1] += alpha * xq[1]
+		yq[2] += alpha * xq[2]
+		yq[3] += alpha * xq[3]
+		x = x[4:]
+		y = y[4:]
+	}
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
 // MulATBAddInto computes dst += aᵀ·b (a is n×r, b is n×c, dst is r×c).
+// Unrolled like MulAddInto; per dst element the accumulation stays in
+// ascending i order, so results are bit-identical to the plain loop.
 func MulATBAddInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("tensor: MulATBAddInto shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		brow := b.Row(i)
+	n, r, c := a.Rows, a.Cols, b.Cols
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := 0; i < n; i++ {
+		arow := ad[i*r : i*r+r]
+		brow := bd[i*c : i*c+c]
 		for k, av := range arow {
 			if av == 0 {
 				continue
 			}
-			drow := dst.Row(k)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			axpyRow(av, brow, dd[k*c:k*c+c])
 		}
 	}
 }
 
 // MulABTAddInto computes dst += a·bᵀ (a is n×c, b is m×c, dst is n×m).
+// The dot-product accumulator runs in ascending k order (a single serial
+// chain), so the sum is bit-identical to the plain loop.
 func MulABTAddInto(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("tensor: MulABTAddInto shape mismatch")
 	}
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
+	n, c, m := a.Rows, a.Cols, b.Rows
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := 0; i < n; i++ {
+		arow := ad[i*c : i*c+c]
+		drow := dd[i*m : i*m+m]
+		for j := 0; j < m; j++ {
+			brow := bd[j*c : j*c+c]
+			arow := arow[:len(brow)]
 			s := 0.0
 			for k, av := range arow {
 				s += av * brow[k]
@@ -237,11 +303,14 @@ func Sigmoid(x float64) float64 {
 	return e / (1 + e)
 }
 
-// Dot returns the inner product of equal-length vectors.
+// Dot returns the inner product of equal-length vectors. The accumulator
+// is a single serial chain in index order (bit-stable), with the bounds
+// check hoisted out of the loop.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
 	}
+	b = b[:len(a)]
 	s := 0.0
 	for i, v := range a {
 		s += v * b[i]
@@ -249,12 +318,21 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
-// AXPY computes y += alpha*x.
+// AXPY computes y += alpha*x, 4-way unrolled. Each element is touched by
+// exactly one accumulate, so any unroll order is bit-identical.
 func AXPY(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: AXPY length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	axpyRow(alpha, x, y)
+}
+
+// AXPY2 computes y += a1*x1 followed by y += a2*x2 in one fused pass over
+// y. Per element the two accumulates execute in sequence, so the result is
+// bit-identical to two AXPY calls; only loop overhead and y traffic shrink.
+func AXPY2(a1 float64, x1 []float64, a2 float64, x2 []float64, y []float64) {
+	if len(x1) != len(y) || len(x2) != len(y) {
+		panic("tensor: AXPY2 length mismatch")
 	}
+	axpyRow2(a1, x1, a2, x2, y)
 }
