@@ -1,17 +1,29 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test test-race vet bench bench-parallel bench-predict
+.PHONY: build lint test test-race vet bench bench-parallel bench-predict bench-campaign
 
 build:
 	$(GO) build ./...
 
-# Default gate: vet, the full suite, and the inference fast-path
-# equivalence tests again under the race detector (they drive the
-# base/context sharing across goroutines).
-test: vet
+# Formatting gate plus vet: fails listing any file gofmt would rewrite.
+lint:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# Default gate: lint, the full suite, and the equivalence tests again
+# under the race detector — the inference fast-path set (base/context
+# sharing across goroutines) plus the explore-pipeline pinned set (walks,
+# campaign histories, Razzer/Snowboard rows at parallel worker counts).
+test: lint
 	$(GO) test ./...
 	$(GO) test -race -run 'TestKernelsBitEqualReference|TestCSREquivalenceProperty|TestWithScheduleMatchesMonolithicBuild|TestBaseSharedAcrossGoroutines|TestBaseContextBitEqual|TestPredictAllCtxMatches|TestSweepPathsAgree' \
 		./internal/tensor ./internal/nn ./internal/ctgraph ./internal/pic .
+	$(GO) test -race -run 'TestWalkInvariantToBatchAndWorkers|TestExecutePlanMatchesDirectExecution|TestPinnedPlansMatchPreRefactorLoops|TestPinnedHistoryMatchesPreRefactorRun|TestPinnedReproduceMatchesPreRefactorLoop|TestPinnedPICSampleMatchesPreRefactorLoop' \
+		./internal/explore ./internal/mlpct ./internal/campaign ./internal/razzer ./internal/snowboard
 
 test-race:
 	$(GO) test -race ./...
@@ -38,3 +50,18 @@ bench-predict:
 		END { print "\n]" }' bench_predict.out > BENCH_predict.json
 	rm -f bench_predict.out
 	cat BENCH_predict.json
+
+# Campaign-layer benchmarks (worker-pool campaigns plus the schedule-key
+# hot path); snapshots the numbers to BENCH_campaign.json.
+bench-campaign:
+	$(GO) test -run xxx -bench 'BenchmarkCampaignSerial$$|BenchmarkCampaignParallel$$' \
+		-benchmem -benchtime 3x . | tee bench_campaign.out
+	$(GO) test -run xxx -bench 'BenchmarkScheduleKey' \
+		-benchmem -benchtime 10000x ./internal/ski | tee -a bench_campaign.out
+	awk 'BEGIN { print "[" } \
+		/^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", sep, name, $$2, $$3, $$5, $$7; \
+			sep=",\n" } \
+		END { print "\n]" }' bench_campaign.out > BENCH_campaign.json
+	rm -f bench_campaign.out
+	cat BENCH_campaign.json

@@ -9,6 +9,7 @@ import (
 	"snowcat/internal/campaign"
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/dataset"
+	"snowcat/internal/explore"
 	"snowcat/internal/kernel"
 	"snowcat/internal/mlpct"
 	"snowcat/internal/pic"
@@ -244,6 +245,8 @@ func cmdCampaign(args []string) error {
 	model := fs.String("model", "pic.gob", "model file (used by MLPCT)")
 	ctis := fs.Int("ctis", 100, "CTIs in the stream")
 	budget := fs.Int("budget", 20, "dynamic executions per CTI")
+	progress := fs.Bool("progress", false, "print pipeline progress from the explore hooks")
+	every := fs.Int("progress-every", 100, "executions between -progress lines")
 	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -258,22 +261,44 @@ func cmdCampaign(args []string) error {
 	}
 	tc := pic.NewTokenCache(k, m.Vocab)
 
+	// The progress observer rides the pipeline's explore.Hooks: executed
+	// schedules are reported from the campaign's canonical fold and
+	// per-CTI budget exhaustion from the MLPCT selection walks, so the
+	// output is deterministic at any -parallel value.
+	var hooks *explore.Hooks
+	exhausted := 0
+	if *progress {
+		execs := 0
+		hooks = &explore.Hooks{
+			ScheduleExecuted: func(c explore.Candidate, res *ski.Result) {
+				execs++
+				if *every > 0 && execs%*every == 0 {
+					fmt.Printf("  ... %d executions folded (cti %d)\n", execs, c.CTI.ID)
+				}
+			},
+			BudgetExhausted: func(cti ski.CTI, led *explore.Ledger) { exhausted++ },
+		}
+	}
+
 	r := campaign.NewRunner(k)
 	opts := campaignOptions(*budget)
 	pct, err := r.Run(campaign.Config{
 		Name: "PCT", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
-		Cost: campaign.PaperCosts(), Parallel: *par,
+		Cost: campaign.PaperCosts(), Parallel: *par, Hooks: hooks,
 	})
 	if err != nil {
 		return err
 	}
 	ml, err := r.Run(campaign.Config{
 		Name: "MLPCT-S1", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
-		Cost: campaign.PaperCosts(), Parallel: *par,
+		Cost: campaign.PaperCosts(), Parallel: *par, Hooks: hooks,
 		Pred: predictor.NewPIC(m, tc, "PIC"), Strat: strategy.NewS1(),
 	})
 	if err != nil {
 		return err
+	}
+	if *progress {
+		fmt.Printf("MLPCT budget/cap exhausted on %d of %d CTIs\n", exhausted, *ctis)
 	}
 	for _, h := range []*campaign.History{pct, ml} {
 		last := h.Points[len(h.Points)-1]
@@ -299,6 +324,7 @@ func cmdRazzer(args []string) error {
 	pool := fs.Int("pool", 40, "random STIs in the fuzzing pool")
 	schedules := fs.Int("schedules", 200, "random schedules per candidate CTI")
 	maxCTIs := fs.Int("maxctis", 20, "cap on candidates per mode")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -334,7 +360,7 @@ func cmdRazzer(args []string) error {
 	if pred != nil {
 		modes = append(modes, razzer.PICFiltered)
 	}
-	cfg := razzer.ReproConfig{SchedulesPerCTI: *schedules, Seed: *seed + 41, ExecSeconds: 2.8, Shuffles: 1000}
+	cfg := razzer.ReproConfig{SchedulesPerCTI: *schedules, Seed: *seed + 41, ExecSeconds: 2.8, Shuffles: 1000, Parallel: *par}
 	for ti, tr := range targets {
 		fmt.Printf("race %c (%v):\n", rune('A'+ti), tr)
 		for _, mode := range modes {
@@ -350,6 +376,8 @@ func cmdRazzer(args []string) error {
 			fmt.Printf("  %s\n", res)
 		}
 	}
+	led := finder.Ledger()
+	fmt.Printf("total: %d dynamic executions, %d model inferences\n", led.Execs(), led.Inferences())
 	return nil
 }
 
@@ -359,6 +387,7 @@ func cmdSnowboard(args []string) error {
 	model := fs.String("model", "pic.gob", "model file for SB-PIC")
 	members := fs.Int("members", 20, "CTI candidates per bug cluster")
 	trials := fs.Int("trials", 500, "sampling trials per cluster")
+	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -374,12 +403,19 @@ func cmdSnowboard(args []string) error {
 	builder := campaign.NewRunner(k).Builder
 	gen := syz.NewGenerator(k, *seed+50)
 
+	// SB-PIC graph building and scoring fan out across -parallel workers;
+	// the sampled sets are identical at any count.
+	picSampler := func(strat strategy.Strategy) *snowboard.PIC {
+		s := snowboard.NewPIC(builder, pred, strat)
+		s.Batch, s.Parallel = 8, *par
+		return s
+	}
 	samplers := []snowboard.Sampler{
 		snowboard.NewRND(0.25, *seed+51),
 		snowboard.NewRND(0.50, *seed+52),
 		snowboard.NewRND(0.75, *seed+53),
-		snowboard.NewPIC(builder, pred, strategy.NewS1()),
-		snowboard.NewPIC(builder, pred, strategy.NewS2()),
+		picSampler(strategy.NewS1()),
+		picSampler(strategy.NewS2()),
 	}
 
 	found := 0

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+)
+
+// Table-driven smoke tests for the campaign/razzer/snowboard subcommands:
+// flag parsing (newFlagSet uses ContinueOnError, so bad flags come back as
+// errors instead of exiting the test binary) and tiny-kernel runs through
+// the explore pipeline, including the hook-driven -progress observer and
+// the -parallel worker flags.
+
+func TestCmdFlagParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		cmd     func([]string) error
+		args    []string
+		wantErr bool
+	}{
+		{"campaign bad flag", cmdCampaign, []string{"-bogus"}, true},
+		{"campaign bad seed", cmdCampaign, []string{"-seed", "notanumber"}, true},
+		{"campaign bad size", cmdCampaign, []string{"-size", "huge"}, true},
+		{"razzer bad flag", cmdRazzer, []string{"-bogus"}, true},
+		{"razzer bad size", cmdRazzer, []string{"-size", "huge"}, true},
+		{"snowboard bad flag", cmdSnowboard, []string{"-bogus"}, true},
+		{"snowboard bad size", cmdSnowboard, []string{"-size", "huge"}, true},
+		{"snowboard missing model", cmdSnowboard, []string{"-model", "/nonexistent/pic.gob"}, true},
+		{"campaign missing model", cmdCampaign, []string{"-model", "/nonexistent/pic.gob"}, true},
+		{"razzer missing model", cmdRazzer, []string{"-model", "/nonexistent/pic.gob"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cmd(tc.args)
+			if tc.wantErr && err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCmdSmallKernelRuns(t *testing.T) {
+	dir := t.TempDir()
+	model := trainTinyModel(t, dir)
+	cases := []struct {
+		name string
+		cmd  func([]string) error
+		args []string
+	}{
+		{"campaign sequential", cmdCampaign,
+			[]string{"-seed", "9", "-model", model, "-ctis", "3", "-budget", "3", "-parallel", "1"}},
+		{"campaign parallel with progress", cmdCampaign,
+			[]string{"-seed", "9", "-model", model, "-ctis", "3", "-budget", "3", "-parallel", "4", "-progress", "-progress-every", "5"}},
+		{"razzer sequential", cmdRazzer,
+			[]string{"-seed", "9", "-pool", "8", "-schedules", "8", "-maxctis", "3", "-parallel", "1"}},
+		{"razzer parallel with model", cmdRazzer,
+			[]string{"-seed", "9", "-model", model, "-pool", "8", "-schedules", "8", "-maxctis", "3", "-parallel", "4"}},
+		{"snowboard parallel", cmdSnowboard,
+			[]string{"-seed", "9", "-model", model, "-members", "5", "-trials", "10", "-parallel", "4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.cmd(tc.args); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -73,9 +73,11 @@ func main() {
 	os.Exit(2)
 }
 
-// newFlagSet builds a flag set with the shared -seed flag.
+// newFlagSet builds a flag set with the shared -seed flag. Parse errors
+// are returned (not os.Exit'ed) so main reports them uniformly and tests
+// can exercise the flag plumbing.
 func newFlagSet(name string) (*flag.FlagSet, *uint64) {
-	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "deterministic seed for every random choice")
 	return fs, seed
 }

@@ -14,6 +14,7 @@ import (
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/explore"
 	"snowcat/internal/kernel"
 	"snowcat/internal/mlpct"
 	"snowcat/internal/parallel"
@@ -26,37 +27,20 @@ import (
 )
 
 // ErrInvalidCost reports a cost model with a negative component, which
-// would silently run the simulated clock backwards.
-var ErrInvalidCost = errors.New("campaign: invalid cost model")
+// would silently run the simulated clock backwards. It is the explore
+// package's sentinel: cost modelling lives in the shared ledger now.
+var ErrInvalidCost = explore.ErrInvalidCost
+
+// ErrInvalidConfig reports a campaign configuration that cannot run.
+var ErrInvalidConfig = errors.New("campaign: invalid configuration")
 
 // CostModel converts campaign events into simulated wall-clock seconds.
-type CostModel struct {
-	ExecSeconds  float64 // one dynamic execution (paper: 2.8)
-	InferSeconds float64 // one model inference (paper: 0.015)
-	StartupHours float64 // data collection + training charged up front
-}
-
-// Validate rejects cost models whose components are negative or NaN; both
-// would corrupt the monotonic simulated clock.
-func (c CostModel) Validate() error {
-	if !(c.ExecSeconds >= 0) || !(c.InferSeconds >= 0) || !(c.StartupHours >= 0) {
-		return fmt.Errorf("%w: ExecSeconds=%v InferSeconds=%v StartupHours=%v (all must be non-negative)",
-			ErrInvalidCost, c.ExecSeconds, c.InferSeconds, c.StartupHours)
-	}
-	return nil
-}
+// It is the explore.Ledger's cost model; the alias keeps existing
+// campaign-facing call sites working.
+type CostModel = explore.CostModel
 
 // PaperCosts returns the §5.2.2 constants with no start-up charge.
-func PaperCosts() CostModel {
-	return CostModel{ExecSeconds: 2.8, InferSeconds: 0.015}
-}
-
-// WithStartup returns the cost model with a training start-up charge, e.g.
-// 240 h for PIC-5 (§5.3.2) or the smaller fine-tuning charges of Table 2.
-func (c CostModel) WithStartup(hours float64) CostModel {
-	c.StartupHours = hours
-	return c
-}
+func PaperCosts() CostModel { return explore.PaperCosts() }
 
 // Point is one sample of a campaign history.
 type Point struct {
@@ -119,6 +103,12 @@ type Config struct {
 	// history is identical for every worker count — see DESIGN.md,
 	// "Concurrency model".
 	Parallel int
+	// Hooks observes the pipeline stages (see explore.Hooks). They fire
+	// from the sequential phases only — the MLPCT selection walks and the
+	// canonical result fold — so callback order is deterministic at any
+	// worker count. PCT plan construction shards across workers and fires
+	// no per-candidate hooks.
+	Hooks *explore.Hooks
 }
 
 // Runner executes campaigns over one kernel. The CTI stream is derived
@@ -154,10 +144,10 @@ func NewRunner(k *kernel.Kernel) *Runner {
 //     race/block/bug sets and the simulated clock.
 func (r *Runner) Run(c Config) (*History, error) {
 	if c.NumCTIs <= 0 {
-		return nil, fmt.Errorf("campaign: NumCTIs must be positive")
+		return nil, fmt.Errorf("%w: NumCTIs must be positive, got %d", ErrInvalidConfig, c.NumCTIs)
 	}
 	if err := c.Cost.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
 	workers := parallel.Workers(c.Parallel)
 	opts := c.Opts
@@ -165,6 +155,11 @@ func (r *Runner) Run(c Config) (*History, error) {
 		opts.Parallel = workers
 	}
 	exp := mlpct.NewExplorer(r.K, r.Builder, opts)
+	if c.Pred != nil {
+		// MLPCT plans are built sequentially (the strategy's memory spans
+		// CTIs), so the walk-level hooks stay deterministic.
+		exp.Hooks = c.Hooks
+	}
 
 	// Phase 0: canonical stream.
 	gen := syz.NewGenerator(r.K, c.Seed)
@@ -236,7 +231,10 @@ func (r *Runner) Run(c Config) (*History, error) {
 		return nil, err
 	}
 
-	// Phase 4: canonical fold.
+	// Phase 4: canonical fold. The campaign ledger is the single cost
+	// authority: start-up is charged up front and each CTI settles its
+	// executions and inferences as one charge, reproducing the historical
+	// clock arithmetic bit for bit.
 	hist := &History{
 		Name:      c.Name,
 		Points:    make([]Point, 0, c.NumCTIs),
@@ -244,11 +242,12 @@ func (r *Runner) Run(c Config) (*History, error) {
 	}
 	races := race.NewSet()
 	blocks := make(map[int32]bool, r.K.NumBlocks())
-	clock := c.Cost.StartupHours * 3600 // simulated seconds
+	led := explore.NewLedger(c.Cost)
+	led.ChargeStartup()
 	k := 0
 	for i, p := range plans {
 		pa, pb := profs[i].pa, profs[i].pb
-		for range p.Scheds {
+		for j := range p.Scheds {
 			e := execs[k]
 			k++
 			races.Add(e.races)
@@ -260,19 +259,22 @@ func (r *Runner) Run(c Config) (*History, error) {
 			for _, bug := range e.res.BugsHit {
 				hist.BugsFound[bug] = true
 			}
+			c.Hooks.ScheduleExecutedHook(explore.Candidate{
+				Seq: j, CTI: p.CTI, Sched: p.Scheds[j],
+			}, e.res)
 		}
-		hist.TotalExecs += len(p.Scheds)
-		hist.TotalInfers += p.Inferences
+		led.Propose(p.Proposed)
+		led.Charge(len(p.Scheds), p.Inferences)
 		hist.CTIs++
 
-		clock += float64(len(p.Scheds))*c.Cost.ExecSeconds +
-			float64(p.Inferences)*c.Cost.InferSeconds
 		hist.Points = append(hist.Points, Point{
-			Hours:  clock / 3600,
+			Hours:  led.Hours(),
 			Races:  races.Size(),
 			Blocks: len(blocks),
 		})
 	}
+	hist.TotalExecs = led.Execs()
+	hist.TotalInfers = led.Inferences()
 	// The per-CTI clock charges are non-negative (Validate), so Points are
 	// already in clock order; the stable sort is a guard that keeps the
 	// invariant explicit for future cost models.

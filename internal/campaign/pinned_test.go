@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/parallel"
+	"snowcat/internal/predictor"
+	"snowcat/internal/race"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+// referenceRun is the pre-refactor Runner.Run, verbatim — private clock
+// arithmetic, ad-hoc counters and all. It pins the ledger-driven fold:
+// Figure-5 histories must be bit-identical before and after the explore
+// refactor. Do not modernise this copy. (The per-CTI plans it calls are
+// themselves pinned against verbatim loop copies in
+// internal/mlpct/pinned_test.go, so the two pins compose.)
+func referenceRun(r *Runner, c Config) (*History, error) {
+	if c.NumCTIs <= 0 {
+		return nil, fmt.Errorf("campaign: NumCTIs must be positive")
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	workers := parallel.Workers(c.Parallel)
+	opts := c.Opts
+	if opts.Parallel <= 0 {
+		opts.Parallel = workers
+	}
+	exp := mlpct.NewExplorer(r.K, r.Builder, opts)
+
+	// Phase 0: canonical stream.
+	gen := syz.NewGenerator(r.K, c.Seed)
+	rng := xrand.New(c.Seed ^ 0x5eed)
+	type ctiJob struct {
+		cti  ski.CTI
+		seed uint64 // per-CTI exploration seed
+	}
+	jobs := make([]ctiJob, c.NumCTIs)
+	for i := range jobs {
+		a, b := gen.Generate(), gen.Generate()
+		jobs[i] = ctiJob{cti: ski.CTI{ID: int64(i), A: a, B: b}, seed: rng.Uint64()}
+	}
+
+	// Phase 1: STI profiling.
+	type profiles struct{ pa, pb *syz.Profile }
+	profs, err := parallel.Map(workers, c.NumCTIs, func(i int) (profiles, error) {
+		pa, err := syz.Run(r.K, jobs[i].cti.A)
+		if err != nil {
+			return profiles{}, err
+		}
+		pb, err := syz.Run(r.K, jobs[i].cti.B)
+		if err != nil {
+			return profiles{}, err
+		}
+		return profiles{pa: pa, pb: pb}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: selection plans.
+	var plans []*mlpct.Plan
+	if c.Pred != nil {
+		plans = make([]*mlpct.Plan, c.NumCTIs)
+		for i := range jobs {
+			plans[i] = exp.PlanMLPCT(jobs[i].cti, profs[i].pa, profs[i].pb, jobs[i].seed, c.Pred, c.Strat)
+		}
+	} else {
+		plans, err = parallel.Map(workers, c.NumCTIs, func(i int) (*mlpct.Plan, error) {
+			return exp.PlanPCT(jobs[i].cti, profs[i].pa, profs[i].pb, jobs[i].seed), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: dynamic executions, flattened across CTIs.
+	type execJob struct{ cti, sched int }
+	var flat []execJob
+	for i, p := range plans {
+		for j := range p.Scheds {
+			flat = append(flat, execJob{cti: i, sched: j})
+		}
+	}
+	type execResult struct {
+		res   *ski.Result
+		races []race.Race
+	}
+	execs, err := parallel.Map(workers, len(flat), func(k int) (execResult, error) {
+		j := flat[k]
+		res, err := ski.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
+		if err != nil {
+			return execResult{}, err
+		}
+		return execResult{res: res, races: race.Detect(res)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: canonical fold.
+	hist := &History{
+		Name:      c.Name,
+		Points:    make([]Point, 0, c.NumCTIs),
+		BugsFound: make(map[int32]bool),
+	}
+	races := race.NewSet()
+	blocks := make(map[int32]bool, r.K.NumBlocks())
+	clock := c.Cost.StartupHours * 3600 // simulated seconds
+	k := 0
+	for i, p := range plans {
+		pa, pb := profs[i].pa, profs[i].pb
+		for range p.Scheds {
+			e := execs[k]
+			k++
+			races.Add(e.races)
+			for id, cov := range e.res.Covered {
+				if cov && !pa.Covered[id] && !pb.Covered[id] {
+					blocks[int32(id)] = true
+				}
+			}
+			for _, bug := range e.res.BugsHit {
+				hist.BugsFound[bug] = true
+			}
+		}
+		hist.TotalExecs += len(p.Scheds)
+		hist.TotalInfers += p.Inferences
+		hist.CTIs++
+
+		clock += float64(len(p.Scheds))*c.Cost.ExecSeconds +
+			float64(p.Inferences)*c.Cost.InferSeconds
+		hist.Points = append(hist.Points, Point{
+			Hours:  clock / 3600,
+			Races:  races.Size(),
+			Blocks: len(blocks),
+		})
+	}
+	sort.SliceStable(hist.Points, func(i, j int) bool { return hist.Points[i].Hours < hist.Points[j].Hours })
+	hist.FinalRaces = races.Size()
+	hist.FinalBlocks = len(blocks)
+	return hist, nil
+}
+
+// TestPinnedHistoryMatchesPreRefactorRun pins the ledger-driven campaign
+// against the verbatim pre-refactor Run for both explorers, with and
+// without a start-up charge, at the acceptance worker counts {1, 4}.
+func TestPinnedHistoryMatchesPreRefactorRun(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(31))
+	r := NewRunner(k)
+	costs := []CostModel{PaperCosts(), PaperCosts().WithStartup(3.5)}
+	for _, mlpctRun := range []bool{false, true} {
+		for ci, cost := range costs {
+			for _, workers := range []int{1, 4} {
+				cfg := Config{
+					Name: "pin", Seed: 17, NumCTIs: 5,
+					Opts:     mlpct.Options{ExecBudget: 5, InferenceCap: 30, Batch: 4},
+					Cost:     cost,
+					Parallel: workers,
+				}
+				if mlpctRun {
+					cfg.Pred = predictor.AllPos{}
+					cfg.Strat = strategy.NewS2()
+				}
+				want, err := referenceRun(r, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mlpctRun {
+					cfg.Strat = strategy.NewS2() // fresh memory for the second run
+				}
+				got, err := r.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("mlpct=%v cost=%d workers=%d: history diverged from pre-refactor run\ngot  %+v\nwant %+v",
+						mlpctRun, ci, workers, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package explore
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/predictor"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+func TestCostModelValidate(t *testing.T) {
+	bad := []CostModel{
+		{ExecSeconds: -1},
+		{InferSeconds: -0.1},
+		{StartupHours: -2},
+		{ExecSeconds: math.NaN()},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrInvalidCost) {
+			t.Fatalf("cost %+v: err=%v, want ErrInvalidCost", c, err)
+		}
+	}
+	if err := PaperCosts().Validate(); err != nil {
+		t.Fatalf("paper costs rejected: %v", err)
+	}
+	if got := PaperCosts().WithStartup(240).StartupHours; got != 240 {
+		t.Fatalf("WithStartup: %v", got)
+	}
+}
+
+func TestLedgerCharging(t *testing.T) {
+	led := NewLedger(PaperCosts().WithStartup(2))
+	led.ChargeStartup()
+	if led.Seconds() != 2*3600 {
+		t.Fatalf("startup seconds %v", led.Seconds())
+	}
+	led.Propose(3)
+	led.Charge(5, 40)
+	led.Charge(1, 0)
+	if led.Proposed() != 3 || led.Execs() != 6 || led.Inferences() != 40 {
+		t.Fatalf("counters %d/%d/%d", led.Proposed(), led.Execs(), led.Inferences())
+	}
+	// Charge must reproduce the historical per-round clock expression
+	// bit for bit.
+	want := 2*3600.0 + (float64(5)*2.8 + float64(40)*0.015) + (float64(1)*2.8 + float64(0)*0.015)
+	if led.Seconds() != want {
+		t.Fatalf("seconds %v, want %v", led.Seconds(), want)
+	}
+	if led.Hours() != want/3600 {
+		t.Fatalf("hours %v", led.Hours())
+	}
+	if led.Cost() != PaperCosts().WithStartup(2) {
+		t.Fatal("cost model not retained")
+	}
+}
+
+// walkFixture builds a real CTI with profiles so walks exercise the same
+// graph/scoring machinery the consumers use.
+type walkFixture struct {
+	k       *kernel.Kernel
+	builder *ctgraph.Builder
+	cti     ski.CTI
+	pa, pb  *syz.Profile
+}
+
+func newWalkFixture(t *testing.T, seed uint64) *walkFixture {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(seed))
+	gen := syz.NewGenerator(k, seed+1)
+	a, b := gen.Generate(), gen.Generate()
+	pa, err := syz.Run(k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &walkFixture{
+		k:       k,
+		builder: ctgraph.NewBuilder(k, cfg.Build(k)),
+		cti:     ski.CTI{ID: 1, A: a, B: b},
+		pa:      pa,
+		pb:      pb,
+	}
+}
+
+func (f *walkFixture) walk(batch, workers int, budget Budget, led *Ledger, hooks *Hooks) *Walk {
+	base := f.builder.BuildBase(f.cti, f.pa, f.pb)
+	return &Walk{
+		Source: SampleUnique(f.cti, ski.NewSampler(f.pa, f.pb, 7), 50),
+		Build:  func(c Candidate) *ctgraph.Graph { return base.WithSchedule(c.Sched) },
+		Score:  predictor.AllPos{},
+		Accept: func(c Candidate, g *ctgraph.Graph, scores []float64) bool {
+			return c.Seq%2 == 0 // deterministic, graph-independent filter
+		},
+		Budget: budget, Batch: batch, Workers: workers,
+		Ledger: led, Hooks: hooks,
+	}
+}
+
+func TestWalkInvariantToBatchAndWorkers(t *testing.T) {
+	f := newWalkFixture(t, 3)
+	budget := Budget{ExecBudget: 5, InferenceCap: 30}
+	canonLed := NewLedger(CostModel{})
+	canon := f.walk(1, 1, budget, canonLed, nil).Run()
+	if len(canon) == 0 {
+		t.Fatal("canonical walk selected nothing")
+	}
+	for _, batch := range []int{1, 3, 64} {
+		for _, workers := range []int{1, 2, 8} {
+			led := NewLedger(CostModel{})
+			got := f.walk(batch, workers, budget, led, nil).Run()
+			if !reflect.DeepEqual(got, canon) {
+				t.Fatalf("batch=%d workers=%d: selection diverged", batch, workers)
+			}
+			if *led != *canonLed {
+				t.Fatalf("batch=%d workers=%d: ledger diverged: %+v vs %+v", batch, workers, led, canonLed)
+			}
+		}
+	}
+}
+
+func TestWalkBudgets(t *testing.T) {
+	f := newWalkFixture(t, 5)
+
+	// Execution budget caps selections.
+	led := NewLedger(CostModel{})
+	sel := f.walk(4, 2, Budget{ExecBudget: 3}, led, nil).Run()
+	if len(sel) != 3 {
+		t.Fatalf("selected %d, want 3", len(sel))
+	}
+
+	// Inference cap stops the walk even though candidates remain.
+	led = NewLedger(CostModel{})
+	f.walk(4, 2, Budget{ExecBudget: 1000, InferenceCap: 7}, led, nil).Run()
+	if led.Inferences() != 7 {
+		t.Fatalf("inferences %d, want exactly the cap", led.Inferences())
+	}
+
+	// A shared ledger with prior history is judged on this walk's deltas.
+	led = NewLedger(CostModel{})
+	led.Charge(0, 100)
+	f.walk(1, 1, Budget{ExecBudget: 1000, InferenceCap: 7}, led, nil).Run()
+	if led.Inferences() != 107 {
+		t.Fatalf("delta budgeting broken: %d", led.Inferences())
+	}
+}
+
+func TestWalkHooksFireInCanonicalOrder(t *testing.T) {
+	f := newWalkFixture(t, 9)
+	type record struct {
+		kind string
+		seq  int
+	}
+	canon := []record(nil)
+	run := func(batch, workers int) []record {
+		var got []record
+		exhausted := 0
+		hooks := &Hooks{
+			CandidateProposed: func(c Candidate) { got = append(got, record{"prop", c.Seq}) },
+			BatchScored:       func(cti ski.CTI, n int) { got = append(got, record{"batch", n}) },
+			ScheduleSelected:  func(c Candidate) { got = append(got, record{"sel", c.Seq}) },
+			BudgetExhausted:   func(cti ski.CTI, led *Ledger) { exhausted++ },
+		}
+		f.walk(batch, workers, Budget{ExecBudget: 4, InferenceCap: 30}, nil, hooks).Run()
+		if exhausted != 1 {
+			t.Fatalf("BudgetExhausted fired %d times", exhausted)
+		}
+		return got
+	}
+	canon = run(1, 1)
+	proposals := 0
+	for _, r := range canon {
+		if r.kind == "prop" {
+			proposals++
+		}
+	}
+	if proposals == 0 {
+		t.Fatal("no proposal hooks fired")
+	}
+	// Worker count must not change hook order; batch size only regroups
+	// the BatchScored markers, so compare the per-candidate events.
+	filter := func(rs []record) []record {
+		var out []record
+		for _, r := range rs {
+			if r.kind != "batch" {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if got := run(1, 8); !reflect.DeepEqual(got, canon) {
+		t.Fatal("hook order changed with workers")
+	}
+	if got := run(16, 8); !reflect.DeepEqual(filter(got), filter(canon)) {
+		t.Fatal("per-candidate hook order changed with batching")
+	}
+}
+
+func TestWalkWithoutGraphStages(t *testing.T) {
+	// Plain-PCT shape: no Build, no Score, no Accept — every proposal is
+	// selected, no inference is charged, and no graph is ever built.
+	f := newWalkFixture(t, 11)
+	led := NewLedger(CostModel{})
+	w := &Walk{
+		Source: SampleUnique(f.cti, ski.NewSampler(f.pa, f.pb, 3), 50),
+		Budget: Budget{ExecBudget: 6},
+		Batch:  4, Workers: 4, Ledger: led,
+	}
+	sel := w.Run()
+	if len(sel) != 6 {
+		t.Fatalf("selected %d, want 6", len(sel))
+	}
+	if led.Inferences() != 0 || led.Proposed() != 6 {
+		t.Fatalf("ledger %+v", led)
+	}
+	for i, c := range sel {
+		if c.Seq != i {
+			t.Fatalf("selection order broken at %d: seq %d", i, c.Seq)
+		}
+	}
+}
+
+func TestWalkScoreRequiresBuild(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Walk{Source: SourceFunc(func() (Candidate, bool) { return Candidate{}, false }),
+		Score: predictor.AllPos{}}).Run()
+}
+
+func TestSampleNAndMembersSources(t *testing.T) {
+	f := newWalkFixture(t, 13)
+	src := SampleN(f.cti, ski.NewSampler(f.pa, f.pb, 5), 3)
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("SampleN yielded %d", n)
+	}
+
+	ms := Members(4, func(i int) (ski.CTI, ski.Schedule) { return f.cti, ski.Schedule{} })
+	for i := 0; i < 4; i++ {
+		c, ok := ms.Next()
+		if !ok || c.Payload != i {
+			t.Fatalf("Members yield %d: %+v ok=%v", i, c, ok)
+		}
+	}
+	if _, ok := ms.Next(); ok {
+		t.Fatal("Members over-yielded")
+	}
+}
+
+func TestExecutePlanMatchesDirectExecution(t *testing.T) {
+	f := newWalkFixture(t, 15)
+	sampler := ski.NewSampler(f.pa, f.pb, 21)
+	var scheds []ski.Schedule
+	for i := 0; i < 5; i++ {
+		scheds = append(scheds, sampler.Next())
+	}
+	want := make([]*ski.Result, len(scheds))
+	for i, s := range scheds {
+		res, err := ski.Execute(f.k, f.cti, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 4} {
+		led := NewLedger(PaperCosts())
+		order := 0
+		hooks := &Hooks{ScheduleExecuted: func(c Candidate, res *ski.Result) {
+			if c.Seq != order {
+				t.Fatalf("executed hook out of order: %d vs %d", c.Seq, order)
+			}
+			order++
+		}}
+		got, err := ExecutePlan(f.k, f.cti, scheds, workers, led, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results diverged", workers)
+		}
+		if led.Execs() != len(scheds) || order != len(scheds) {
+			t.Fatalf("workers=%d: execs %d hooks %d", workers, led.Execs(), order)
+		}
+		wantSec := 0.0
+		for range scheds {
+			wantSec += float64(1)*2.8 + float64(0)*0.015
+		}
+		if led.Seconds() != wantSec {
+			t.Fatalf("workers=%d: seconds %v, want %v", workers, led.Seconds(), wantSec)
+		}
+	}
+}

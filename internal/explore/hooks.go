@@ -1,0 +1,68 @@
+package explore
+
+import "snowcat/internal/ski"
+
+// Hooks are per-stage observer callbacks. Any field may be nil; a nil
+// *Hooks disables observation entirely. Campaigns and the CLI consume
+// these instead of threading ad-hoc counters through the exploration
+// loops.
+//
+// Hooks fire only from the canonical sequential points of a pipeline —
+// the proposal/selection walk and the in-order execution fold — never
+// from pool workers, so the callback order is deterministic and identical
+// at every worker count. A hook shared across concurrently running walks
+// (e.g. per-CTI PCT planning fanned out by a campaign) would lose that
+// guarantee, so campaigns attach hooks only to their sequential phases.
+type Hooks struct {
+	// CandidateProposed fires when the walk consumes a proposed
+	// candidate (charged to the ledger as one proposal).
+	CandidateProposed func(c Candidate)
+	// BatchScored fires after one proposal batch has been built and
+	// scored, before the selection walk consumes it.
+	BatchScored func(cti ski.CTI, n int)
+	// ScheduleSelected fires when the Select stage accepts a candidate
+	// for dynamic execution.
+	ScheduleSelected func(c Candidate)
+	// ScheduleExecuted fires as each executed result folds in, in
+	// selection order.
+	ScheduleExecuted func(c Candidate, res *ski.Result)
+	// BudgetExhausted fires once when a walk stops because its execution
+	// budget or inference cap is spent (not when the proposal space runs
+	// dry).
+	BudgetExhausted func(cti ski.CTI, led *Ledger)
+}
+
+// The emit helpers are nil-safe on both the receiver and the field, so
+// pipeline code can fire unconditionally.
+
+func (h *Hooks) candidateProposed(c Candidate) {
+	if h != nil && h.CandidateProposed != nil {
+		h.CandidateProposed(c)
+	}
+}
+
+func (h *Hooks) batchScored(cti ski.CTI, n int) {
+	if h != nil && h.BatchScored != nil {
+		h.BatchScored(cti, n)
+	}
+}
+
+func (h *Hooks) scheduleSelected(c Candidate) {
+	if h != nil && h.ScheduleSelected != nil {
+		h.ScheduleSelected(c)
+	}
+}
+
+// ScheduleExecutedHook fires the executed hook from in-order folds that
+// live outside this package (the campaign runner's canonical fold).
+func (h *Hooks) ScheduleExecutedHook(c Candidate, res *ski.Result) {
+	if h != nil && h.ScheduleExecuted != nil {
+		h.ScheduleExecuted(c, res)
+	}
+}
+
+func (h *Hooks) budgetExhausted(cti ski.CTI, led *Ledger) {
+	if h != nil && h.BudgetExhausted != nil {
+		h.BudgetExhausted(cti, led)
+	}
+}

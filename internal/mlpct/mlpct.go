@@ -3,12 +3,19 @@
 // candidate's CT graph, a selection strategy (§3.3) decides which
 // candidates are interesting, and only those receive dynamic executions.
 // The plain PCT explorer (SKI's baseline) is included for comparison.
+//
+// Both explorers are thin configurations of the shared explore.Walk
+// pipeline (CandidateSource → GraphBuild → Score → Select → Execute); the
+// per-CTI accounting in Plan and Outcome is a snapshot of the walk's
+// explore.Ledger.
 package mlpct
 
 import (
+	"fmt"
+
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/explore"
 	"snowcat/internal/kernel"
-	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
 	"snowcat/internal/race"
 	"snowcat/internal/ski"
@@ -16,19 +23,15 @@ import (
 	"snowcat/internal/syz"
 )
 
+// ErrExec reports a dynamic execution failure while running a plan; it is
+// the explore package's sentinel re-exported so callers can errors.Is
+// against either name.
+var ErrExec = explore.ErrExec
+
 // Prediction runs one model inference and packages it for the selection
 // strategies: thresholded labels plus raw scores.
 func Prediction(pred predictor.Predictor, g *ctgraph.Graph) strategy.Prediction {
-	return asPrediction(pred.Score(g), pred.Threshold())
-}
-
-// asPrediction packages precomputed scores for the selection strategies.
-func asPrediction(scores []float64, th float64) strategy.Prediction {
-	labels := make([]bool, len(scores))
-	for i, s := range scores {
-		labels[i] = s >= th
-	}
-	return strategy.Prediction{Labels: labels, Scores: scores}
+	return strategy.FromScores(pred.Score(g), pred.Threshold())
 }
 
 // Options bounds one per-CTI exploration (§5.3.1 uses ExecBudget=50,
@@ -125,6 +128,11 @@ type Explorer struct {
 	K       *kernel.Kernel
 	Builder *ctgraph.Builder
 	Opts    Options
+	// Hooks observes the pipeline stages (see explore.Hooks); nil
+	// disables observation. Hooks fire from the sequential walk and the
+	// in-order execution fold, so concurrent Plan calls must not share a
+	// hooked explorer.
+	Hooks *explore.Hooks
 }
 
 // NewExplorer creates an explorer with the given options.
@@ -134,9 +142,9 @@ func NewExplorer(k *kernel.Kernel, b *ctgraph.Builder, opts Options) *Explorer {
 
 // Plan is the outcome of one CTI's proposal/selection walk before any
 // dynamic execution: the schedules selected for execution, in selection
-// order, plus the walk's accounting. Selection never depends on execution
-// results, so a plan can be executed later — and concurrently with other
-// plans — without changing what was selected.
+// order, plus the walk's ledger accounting. Selection never depends on
+// execution results, so a plan can be executed later — and concurrently
+// with other plans — without changing what was selected.
 type Plan struct {
 	CTI        ski.CTI
 	Scheds     []ski.Schedule
@@ -144,21 +152,31 @@ type Plan struct {
 	Inferences int
 }
 
-// PlanPCT selects the first ExecBudget unique PCT-sampled schedules of the
-// CTI — the SKI baseline, where every proposal is executed.
-func (e *Explorer) PlanPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan {
-	sampler := ski.NewSampler(pa, pb, seed)
-	seen := make(map[string]bool)
-	p := &Plan{CTI: cti}
-	for len(p.Scheds) < e.Opts.ExecBudget {
-		sched, ok := sampler.NextUnique(seen, 50)
-		if !ok {
-			break // interleaving space exhausted
-		}
-		p.Proposed++
-		p.Scheds = append(p.Scheds, sched)
+// finishPlan snapshots the walk's selections and ledger into a Plan.
+func finishPlan(cti ski.CTI, selected []explore.Candidate, led *explore.Ledger) *Plan {
+	p := &Plan{CTI: cti, Proposed: led.Proposed(), Inferences: led.Inferences()}
+	for _, c := range selected {
+		p.Scheds = append(p.Scheds, c.Sched)
 	}
 	return p
+}
+
+// PlanPCT selects the first ExecBudget unique PCT-sampled schedules of the
+// CTI — the SKI baseline, where every proposal is executed. The walk has
+// no GraphBuild/Score/Select stage at all: every proposal is accepted and
+// no CT graph is ever built.
+func (e *Explorer) PlanPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan {
+	if e.Opts.ExecBudget <= 0 {
+		return &Plan{CTI: cti} // §5.3.1 budgets are hard limits: nothing to select
+	}
+	led := explore.NewLedger(explore.CostModel{})
+	w := &explore.Walk{
+		Source: explore.SampleUnique(cti, ski.NewSampler(pa, pb, seed), 50),
+		Budget: explore.Budget{ExecBudget: e.Opts.ExecBudget},
+		Batch:  e.Opts.batch(), Workers: e.Opts.workers(),
+		Ledger: led, Hooks: e.Hooks,
+	}
+	return finishPlan(cti, w.Run(), led)
 }
 
 // PlanMLPCT runs the model-guided selection walk: PCT proposals are scored
@@ -169,7 +187,7 @@ func (e *Explorer) PlanPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan 
 //
 // Candidates are proposed Opts.Batch at a time so their CT graphs can be
 // built and scored on Opts.Parallel workers, but the strategy walks them
-// strictly in proposal order and the counters charge only the walked
+// strictly in proposal order and the ledger charges only the walked
 // prefix — a candidate past the budget/cap stopping point is discarded
 // unwalked, exactly as if it had never been proposed. The plan is
 // therefore identical for every batch size and worker count. The strategy
@@ -178,12 +196,9 @@ func (e *Explorer) PlanPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan 
 func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 	pred predictor.Predictor, strat strategy.Strategy) *Plan {
 
-	sampler := ski.NewSampler(pa, pb, seed)
-	seen := make(map[string]bool)
-	p := &Plan{CTI: cti}
-	batch, workers := e.Opts.batch(), e.Opts.workers()
-	th := pred.Threshold()
-	cands := make([]ski.Schedule, 0, batch)
+	if e.Opts.ExecBudget <= 0 || e.Opts.InferenceCap <= 0 {
+		return &Plan{CTI: cti} // §5.3.1 budgets are hard limits: nothing to select
+	}
 	// The schedule-independent graph skeleton — and, for predictors that
 	// support it, the per-CTI inference context — is built once; every
 	// candidate schedule completes it. WithSchedule and ScoreBatch outputs
@@ -191,51 +206,30 @@ func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 	base := e.Builder.BuildBase(cti, pa, pb)
 	predictor.BeginCTI(pred, base)
 	defer predictor.EndCTI(pred)
-	dry := false
-	for !dry && len(p.Scheds) < e.Opts.ExecBudget && p.Inferences < e.Opts.InferenceCap {
-		cands = cands[:0]
-		for len(cands) < batch {
-			sched, ok := sampler.NextUnique(seen, 50)
-			if !ok {
-				dry = true
-				break
-			}
-			cands = append(cands, sched)
-		}
-		if len(cands) == 0 {
-			break
-		}
-		graphs, err := parallel.Map(workers, len(cands), func(i int) (*ctgraph.Graph, error) {
-			return base.WithSchedule(cands[i]), nil
-		})
-		if err != nil {
-			panic(err) // only a worker panic can land here; re-raise it
-		}
-		scores := predictor.ScoreAll(pred, graphs, workers)
-		for i, sched := range cands {
-			if len(p.Scheds) >= e.Opts.ExecBudget || p.Inferences >= e.Opts.InferenceCap {
-				break // unconsumed tail: the canonical walk stops here
-			}
-			p.Proposed++
-			p.Inferences++
-			if !strategy.Select(strat, graphs[i], asPrediction(scores[i], th)) {
-				continue // fruitless candidate: skip the dynamic execution
-			}
-			p.Scheds = append(p.Scheds, sched)
-		}
+	th := pred.Threshold()
+	led := explore.NewLedger(explore.CostModel{})
+	w := &explore.Walk{
+		Source: explore.SampleUnique(cti, ski.NewSampler(pa, pb, seed), 50),
+		Build:  func(c explore.Candidate) *ctgraph.Graph { return base.WithSchedule(c.Sched) },
+		Score:  pred,
+		Accept: func(c explore.Candidate, g *ctgraph.Graph, scores []float64) bool {
+			return strategy.Select(strat, g, strategy.FromScores(scores, th))
+		},
+		Budget: explore.Budget{ExecBudget: e.Opts.ExecBudget, InferenceCap: e.Opts.InferenceCap},
+		Batch:  e.Opts.batch(), Workers: e.Opts.workers(),
+		Ledger: led, Hooks: e.Hooks,
 	}
-	return p
+	return finishPlan(cti, w.Run(), led)
 }
 
 // Execute runs every planned schedule on Opts.Parallel workers and folds
 // the results into an Outcome in selection order, so the outcome is
-// identical for any worker count.
+// identical for any worker count. A failed execution wraps ErrExec.
 func (e *Explorer) Execute(p *Plan) (*Outcome, error) {
-	results, err := parallel.Map(e.Opts.workers(), len(p.Scheds), func(i int) (*ski.Result, error) {
-		return ski.Execute(e.K, p.CTI, p.Scheds[i])
-	})
+	led := explore.NewLedger(explore.CostModel{})
+	results, err := explore.ExecutePlan(e.K, p.CTI, p.Scheds, e.Opts.workers(), led, e.Hooks)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("mlpct: %w", err)
 	}
 	out := &Outcome{Proposed: p.Proposed, Inferences: p.Inferences}
 	for i, res := range results {

@@ -1,0 +1,169 @@
+package mlpct
+
+import (
+	"reflect"
+	"testing"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/parallel"
+	"snowcat/internal/predictor"
+	"snowcat/internal/ski"
+	"snowcat/internal/strategy"
+	"snowcat/internal/syz"
+)
+
+// This file pins the explore.Walk refactor against verbatim copies of the
+// pre-refactor per-CTI loops (the same discipline ctgraph.Base used for
+// the monolithic Build): the pipeline-driven PlanPCT/PlanMLPCT must
+// produce bit-identical plans at every batch size and worker count.
+// Do not "fix" or modernise the reference implementations below — their
+// job is to stay exactly as the old code was.
+
+// referencePlanPCT is the old Explorer.PlanPCT, verbatim.
+func referencePlanPCT(e *Explorer, cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan {
+	sampler := ski.NewSampler(pa, pb, seed)
+	seen := make(map[string]bool)
+	p := &Plan{CTI: cti}
+	for len(p.Scheds) < e.Opts.ExecBudget {
+		sched, ok := sampler.NextUnique(seen, 50)
+		if !ok {
+			break // interleaving space exhausted
+		}
+		p.Proposed++
+		p.Scheds = append(p.Scheds, sched)
+	}
+	return p
+}
+
+// referencePlanMLPCT is the old Explorer.PlanMLPCT, verbatim (asPrediction
+// inlined as strategy.FromScores, which carries the identical body).
+func referencePlanMLPCT(e *Explorer, cti ski.CTI, pa, pb *syz.Profile, seed uint64,
+	pred predictor.Predictor, strat strategy.Strategy) *Plan {
+
+	sampler := ski.NewSampler(pa, pb, seed)
+	seen := make(map[string]bool)
+	p := &Plan{CTI: cti}
+	batch, workers := e.Opts.batch(), e.Opts.workers()
+	th := pred.Threshold()
+	cands := make([]ski.Schedule, 0, batch)
+	base := e.Builder.BuildBase(cti, pa, pb)
+	predictor.BeginCTI(pred, base)
+	defer predictor.EndCTI(pred)
+	dry := false
+	for !dry && len(p.Scheds) < e.Opts.ExecBudget && p.Inferences < e.Opts.InferenceCap {
+		cands = cands[:0]
+		for len(cands) < batch {
+			sched, ok := sampler.NextUnique(seen, 50)
+			if !ok {
+				dry = true
+				break
+			}
+			cands = append(cands, sched)
+		}
+		if len(cands) == 0 {
+			break
+		}
+		graphs, err := parallel.Map(workers, len(cands), func(i int) (*ctgraph.Graph, error) {
+			return base.WithSchedule(cands[i]), nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		scores := predictor.ScoreAll(pred, graphs, workers)
+		for i, sched := range cands {
+			if len(p.Scheds) >= e.Opts.ExecBudget || p.Inferences >= e.Opts.InferenceCap {
+				break // unconsumed tail: the canonical walk stops here
+			}
+			p.Proposed++
+			p.Inferences++
+			if !strategy.Select(strat, graphs[i], strategy.FromScores(scores[i], th)) {
+				continue // fruitless candidate: skip the dynamic execution
+			}
+			p.Scheds = append(p.Scheds, sched)
+		}
+	}
+	return p
+}
+
+// referenceExecute is the old Explorer.Execute, verbatim.
+func referenceExecute(e *Explorer, p *Plan) (*Outcome, error) {
+	results, err := parallel.Map(e.Opts.workers(), len(p.Scheds), func(i int) (*ski.Result, error) {
+		return ski.Execute(e.K, p.CTI, p.Scheds[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Proposed: p.Proposed, Inferences: p.Inferences}
+	for i, res := range results {
+		out.addResult(res, p.Scheds[i])
+	}
+	return out, nil
+}
+
+// TestPinnedPlansMatchPreRefactorLoops drives both explorers against the
+// verbatim pre-refactor loops across seeds, strategies, batch sizes, and
+// the acceptance worker counts {1, 4}.
+func TestPinnedPlansMatchPreRefactorLoops(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		strats := []func() strategy.Strategy{
+			func() strategy.Strategy { return strategy.NewS1() },
+			func() strategy.Strategy { return strategy.NewS2() },
+			func() strategy.Strategy { return strategy.NewS3(2) },
+		}
+		for si, mk := range strats {
+			for _, batch := range []int{1, 5, 32} {
+				for _, workers := range []int{1, 4} {
+					opts := Options{ExecBudget: 6, InferenceCap: 40, Batch: batch, Parallel: workers}
+					f := newFixture(t, seed, opts)
+					cti, pa, pb := f.cti(t, 1)
+
+					ref := referencePlanPCT(f.exp, cti, pa, pb, 5)
+					got := f.exp.PlanPCT(cti, pa, pb, 5)
+					if !reflect.DeepEqual(got, ref) {
+						t.Fatalf("seed=%d batch=%d workers=%d: PCT plan diverged from pre-refactor loop", seed, batch, workers)
+					}
+
+					// The strategy is stateful, so reference and pipeline
+					// runs each get a fresh instance.
+					refML := referencePlanMLPCT(f.exp, cti, pa, pb, 5, predictor.AllPos{}, mk())
+					gotML := f.exp.PlanMLPCT(cti, pa, pb, 5, predictor.AllPos{}, mk())
+					if !reflect.DeepEqual(gotML, refML) {
+						t.Fatalf("seed=%d strat=%d batch=%d workers=%d: MLPCT plan diverged (proposed %d/%d inf %d/%d scheds %d/%d)",
+							seed, si, batch, workers, gotML.Proposed, refML.Proposed,
+							gotML.Inferences, refML.Inferences, len(gotML.Scheds), len(refML.Scheds))
+					}
+
+					refOut, err := referenceExecute(f.exp, refML)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotOut, err := f.exp.Execute(gotML)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotOut, refOut) {
+						t.Fatalf("seed=%d batch=%d workers=%d: executed outcome diverged", seed, batch, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanZeroBudgets pins the §5.3.1 hard-limit semantics: a non-positive
+// budget selects nothing, exactly as the old loop conditions did.
+func TestPlanZeroBudgets(t *testing.T) {
+	f := newFixture(t, 7, Options{ExecBudget: 0, InferenceCap: 10})
+	cti, pa, pb := f.cti(t, 1)
+	if p := f.exp.PlanPCT(cti, pa, pb, 1); len(p.Scheds) != 0 || p.Proposed != 0 {
+		t.Fatalf("zero exec budget PCT plan: %+v", p)
+	}
+	if p := f.exp.PlanMLPCT(cti, pa, pb, 1, predictor.AllPos{}, strategy.NewS2()); len(p.Scheds) != 0 || p.Inferences != 0 {
+		t.Fatalf("zero exec budget MLPCT plan: %+v", p)
+	}
+	f2 := newFixture(t, 7, Options{ExecBudget: 5, InferenceCap: 0})
+	cti2, pa2, pb2 := f2.cti(t, 1)
+	if p := f2.exp.PlanMLPCT(cti2, pa2, pb2, 1, predictor.AllPos{}, strategy.NewS2()); len(p.Scheds) != 0 {
+		t.Fatalf("zero inference cap MLPCT plan: %+v", p)
+	}
+}

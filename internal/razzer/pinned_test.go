@@ -1,0 +1,211 @@
+package razzer
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/predictor"
+	"snowcat/internal/race"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+	"snowcat/internal/xrand"
+)
+
+// This file pins the explore.Walk refactor of the Razzer case study against
+// verbatim copies of the pre-refactor loops: FindCTIs candidate lists and
+// Reproduce Table-4 rows must stay bit-identical at the acceptance worker
+// counts {1, 4}. Do not modernise the reference implementations below —
+// their job is to stay exactly as the old code was.
+
+// referencePicAccepts is the old Finder.picAccepts, verbatim: monolithic
+// per-schedule graph builds and unbatched Predict calls.
+func referencePicAccepts(f *Finder, cti ski.CTI, pa, pb *syz.Profile, target TargetRace, pred predictor.Predictor, seed uint64) bool {
+	sampler := ski.NewSampler(pa, pb, seed)
+	for s := 0; s < f.PICSchedules; s++ {
+		g := f.Builder.Build(cti, pa, pb, sampler.Next())
+		wi := g.VertexOf(target.WriteRef.Block)
+		ri := g.VertexOf(target.ReadRef.Block)
+		if wi < 0 || ri < 0 {
+			continue
+		}
+		labels := predictor.Predict(pred, g)
+		if labels[wi] && labels[ri] {
+			return true
+		}
+	}
+	return false
+}
+
+// referenceFindCTIs is the old Finder.FindCTIs, verbatim, routed through
+// referencePicAccepts.
+func referenceFindCTIs(f *Finder, target TargetRace, mode Mode, pred predictor.Predictor, seed uint64) []ski.CTI {
+	cover := func(info stiInfo, block int32) bool {
+		if mode == Conservative {
+			return info.scb[block]
+		}
+		return info.scbURB[block] // Relax and PICFiltered
+	}
+	var writers, readers []int
+	for i, info := range f.pool {
+		if cover(info, target.WriteRef.Block) {
+			writers = append(writers, i)
+		}
+		if cover(info, target.ReadRef.Block) {
+			readers = append(readers, i)
+		}
+	}
+	rng := xrand.New(seed)
+	var out []ski.CTI
+	id := int64(0)
+	for _, wi := range writers {
+		for _, ri := range readers {
+			if wi == ri {
+				continue
+			}
+			cti := ski.CTI{ID: id, A: f.pool[wi].sti, B: f.pool[ri].sti}
+			id++
+			if mode == PICFiltered && !referencePicAccepts(f, cti, f.pool[wi].prof, f.pool[ri].prof, target, pred, rng.Uint64()) {
+				continue
+			}
+			out = append(out, cti)
+		}
+	}
+	return out
+}
+
+// referenceReproduce is the old Finder.Reproduce, verbatim: one sequential
+// loop over candidates drawing sampler seeds inline. It predates the Execs
+// field, so that field stays zero here.
+func referenceReproduce(f *Finder, target TargetRace, ctis []ski.CTI, cfg ReproConfig) (ReproResult, error) {
+	res := ReproResult{CTIs: len(ctis)}
+	if len(ctis) == 0 {
+		return res, nil
+	}
+	profOf := make(map[int64]*syz.Profile, len(f.pool))
+	for _, info := range f.pool {
+		profOf[info.sti.ID] = info.prof
+	}
+
+	tp := make([]bool, len(ctis))
+	rng := xrand.New(cfg.Seed)
+	for i, cti := range ctis {
+		pa, pb := profOf[cti.A.ID], profOf[cti.B.ID]
+		if pa == nil || pb == nil {
+			return res, fmt.Errorf("razzer: CTI %d references STI outside the pool", cti.ID)
+		}
+		sampler := ski.NewSampler(pa, pb, rng.Uint64())
+		for s := 0; s < cfg.SchedulesPerCTI; s++ {
+			out, err := ski.Execute(f.K, cti, sampler.Next())
+			if err != nil {
+				return res, err
+			}
+			for _, r := range race.Detect(out) {
+				if target.Matches(r) {
+					tp[i] = true
+					break
+				}
+			}
+			if tp[i] {
+				break
+			}
+		}
+		if tp[i] {
+			res.TPCTIs++
+		}
+	}
+	if res.TPCTIs == 0 {
+		return res, nil
+	}
+	res.Reproduced = true
+
+	// Simulated time accounting: each queued CTI costs a full schedule
+	// sweep; reaching the first true positive ends the search.
+	perCTI := float64(cfg.SchedulesPerCTI) * cfg.ExecSeconds / 3600
+	res.WorstHours = float64(len(ctis)-res.TPCTIs+1) * perCTI
+	shuffles := cfg.Shuffles
+	if shuffles <= 0 {
+		shuffles = 1000
+	}
+	total := 0.0
+	order := make([]int, len(ctis))
+	for i := range order {
+		order[i] = i
+	}
+	for s := 0; s < shuffles; s++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for pos, idx := range order {
+			if tp[idx] {
+				total += float64(pos+1) * perCTI
+				break
+			}
+		}
+	}
+	res.AvgHours = total / float64(shuffles)
+	return res, nil
+}
+
+// TestPinnedFindCTIsMatchesPreRefactorLoop pins the walk-based Razzer-PIC
+// filter (base-graph builds, batched scoring, budgeted walk) against the
+// verbatim per-schedule loop for every mode and two predictors.
+func TestPinnedFindCTIsMatchesPreRefactorLoop(t *testing.T) {
+	_, f, targets := fixture(t, 21)
+	preds := []func() predictor.Predictor{
+		func() predictor.Predictor { return predictor.AllPos{} },
+		func() predictor.Predictor { return predictor.FairCoin(5) },
+	}
+	for _, mode := range []Mode{Conservative, Relax, PICFiltered} {
+		for pi, mk := range preds {
+			for _, tr := range targets {
+				want := referenceFindCTIs(f, tr, mode, mk(), 3)
+				got := f.FindCTIs(tr, mode, mk(), 3)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v pred=%d %v: candidates diverged from pre-refactor loop (%d vs %d)",
+						mode, pi, tr, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestPinnedReproduceMatchesPreRefactorLoop pins the fanned-out Reproduce
+// against the verbatim sequential sweep at the acceptance worker counts
+// {1, 4}: every Table-4 row cell must be bit-identical, including the
+// float AvgHours/WorstHours arithmetic.
+func TestPinnedReproduceMatchesPreRefactorLoop(t *testing.T) {
+	_, f, targets := fixture(t, 23)
+	cfg := ReproConfig{SchedulesPerCTI: 200, Seed: 11, ExecSeconds: 2.8, Shuffles: 100}
+	pinnedOne := 0
+	for ti, tr := range targets {
+		ctis := SpreadCap(f.FindCTIs(tr, Relax, nil, 2), 12, uint64(ti))
+		want, err := referenceReproduce(f, tr, ctis, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Reproduced {
+			pinnedOne++
+		}
+		for _, workers := range []int{1, 4} {
+			wcfg := cfg
+			wcfg.Parallel = workers
+			got, err := f.Reproduce(tr, ctis, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Execs <= 0 && len(ctis) > 0 {
+				t.Fatalf("workers=%d: no executions recorded for %d candidates", workers, len(ctis))
+			}
+			got.Execs = 0 // the reference predates the Execs field
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d %v: Table-4 row diverged from pre-refactor loop\ngot  %+v\nwant %+v",
+					workers, tr, got, want)
+			}
+		}
+	}
+	if pinnedOne == 0 {
+		t.Fatal("pin exercised no reproduced row; pick another seed")
+	}
+	if f.Ledger().Execs() == 0 {
+		t.Fatal("finder ledger recorded no executions")
+	}
+}

@@ -16,18 +16,31 @@
 package razzer
 
 import (
+	"errors"
 	"fmt"
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/explore"
 	"snowcat/internal/kasm"
 	"snowcat/internal/kernel"
+	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
 	"snowcat/internal/race"
 	"snowcat/internal/sim"
 	"snowcat/internal/ski"
 	"snowcat/internal/syz"
 	"snowcat/internal/xrand"
+)
+
+// Sentinel errors for callers to errors.Is against.
+var (
+	// ErrNoRacingPair reports a planted bug whose guard variable has no
+	// store/load pair in the writer/reader syscall bodies.
+	ErrNoRacingPair = errors.New("razzer: bug has no racing pair")
+	// ErrUnknownSTI reports a candidate CTI referencing an STI outside
+	// the finder's profiled pool.
+	ErrUnknownSTI = errors.New("razzer: CTI references STI outside the pool")
 )
 
 // TargetRace is a known (or statically suspected) data race: a writing and
@@ -81,7 +94,7 @@ func RaceFromBug(k *kernel.Kernel, bug kernel.Bug) (TargetRace, error) {
 		found++
 	}
 	if found != 2 {
-		return t, fmt.Errorf("razzer: bug %d has no racing pair on g%d", bug.ID, gA)
+		return t, fmt.Errorf("%w: bug %d on g%d", ErrNoRacingPair, bug.ID, gA)
 	}
 	return t, nil
 }
@@ -123,12 +136,20 @@ type Finder struct {
 	// PICSchedules is how many random schedules Razzer-PIC asks the model
 	// about per candidate (the paper checks "some random schedules").
 	PICSchedules int
+
+	// led accumulates the finder's inference and execution counts.
+	led *explore.Ledger
 }
+
+// Ledger exposes the finder's accounting: model inferences spent by
+// Razzer-PIC filtering and dynamic executions spent reproducing.
+func (f *Finder) Ledger() *explore.Ledger { return f.led }
 
 // NewFinder profiles the STI pool and precomputes its URB sets.
 func NewFinder(k *kernel.Kernel, pool []*syz.STI) (*Finder, error) {
 	g := cfg.Build(k)
-	f := &Finder{K: k, Builder: ctgraph.NewBuilder(k, g), PICSchedules: 3}
+	f := &Finder{K: k, Builder: ctgraph.NewBuilder(k, g), PICSchedules: 3,
+		led: explore.NewLedger(explore.CostModel{})}
 	for _, sti := range pool {
 		prof, err := syz.Run(k, sti)
 		if err != nil {
@@ -189,22 +210,34 @@ func (f *Finder) FindCTIs(target TargetRace, mode Mode, pred predictor.Predictor
 }
 
 // picAccepts asks the model whether some random schedule of the CTI is
-// predicted to cover both racing blocks.
+// predicted to cover both racing blocks. The probe is an explore.Walk:
+// PICSchedules sampler draws flow through GraphBuild and Score, the
+// Select stage checks both racing vertices, and an ExecBudget of 1 stops
+// at the first accepting schedule. Graphs derive from the CTI's base
+// skeleton and scoring runs inside a per-CTI predictor bracket, both
+// bit-identical to the per-schedule Build/Predict they replace.
 func (f *Finder) picAccepts(cti ski.CTI, pa, pb *syz.Profile, target TargetRace, pred predictor.Predictor, seed uint64) bool {
 	sampler := ski.NewSampler(pa, pb, seed)
-	for s := 0; s < f.PICSchedules; s++ {
-		g := f.Builder.Build(cti, pa, pb, sampler.Next())
-		wi := g.VertexOf(target.WriteRef.Block)
-		ri := g.VertexOf(target.ReadRef.Block)
-		if wi < 0 || ri < 0 {
-			continue
-		}
-		labels := predictor.Predict(pred, g)
-		if labels[wi] && labels[ri] {
-			return true
-		}
+	base := f.Builder.BuildBase(cti, pa, pb)
+	predictor.BeginCTI(pred, base)
+	defer predictor.EndCTI(pred)
+	th := pred.Threshold()
+	w := &explore.Walk{
+		Source: explore.SampleN(cti, sampler, f.PICSchedules),
+		Build:  func(c explore.Candidate) *ctgraph.Graph { return base.WithSchedule(c.Sched) },
+		Score:  pred,
+		Accept: func(c explore.Candidate, g *ctgraph.Graph, scores []float64) bool {
+			wi := g.VertexOf(target.WriteRef.Block)
+			ri := g.VertexOf(target.ReadRef.Block)
+			if wi < 0 || ri < 0 {
+				return false
+			}
+			return scores[wi] >= th && scores[ri] >= th
+		},
+		Budget: explore.Budget{ExecBudget: 1},
+		Ledger: f.led,
 	}
-	return false
+	return len(w.Run()) > 0
 }
 
 // ReproConfig controls the dynamic reproduction attempt.
@@ -213,6 +246,9 @@ type ReproConfig struct {
 	Seed            uint64
 	ExecSeconds     float64 // simulated cost per dynamic execution (paper: 2.8)
 	Shuffles        int     // queue shuffles for the average-time estimate (paper: 1000)
+	// Parallel bounds the worker pool fanning candidate CTIs out; <= 0
+	// selects GOMAXPROCS. The result is identical for every worker count.
+	Parallel int
 }
 
 // ReproResult is one row cell of Table 4.
@@ -220,6 +256,7 @@ type ReproResult struct {
 	Mode       Mode
 	CTIs       int // candidates selected
 	TPCTIs     int // candidates that actually reproduce the race
+	Execs      int // dynamic executions actually performed
 	AvgHours   float64
 	WorstHours float64
 	Reproduced bool
@@ -237,6 +274,12 @@ func (r ReproResult) String() string {
 // the paper's procedure: shuffle the CTI execution queue cfg.Shuffles
 // times and average the simulated time until the first true positive
 // finishes; the worst case puts every true positive at the queue's end.
+//
+// Candidates fan out across cfg.Parallel workers: the per-CTI sampler
+// seeds are pre-drawn in canonical queue order, each candidate's schedule
+// sweep is independent, and the true-positive fold — like the shuffle
+// phase after it — is sequential, so the result is bit-identical at any
+// worker count. Executions are charged to the finder's ledger.
 func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (ReproResult, error) {
 	res := ReproResult{CTIs: len(ctis)}
 	if len(ctis) == 0 {
@@ -247,41 +290,65 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 		profOf[info.sti.ID] = info.prof
 	}
 
-	tp := make([]bool, len(ctis))
 	rng := xrand.New(cfg.Seed)
-	for i, cti := range ctis {
+	seeds := make([]uint64, len(ctis))
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	type attempt struct {
+		tp    bool
+		execs int
+	}
+	atts, err := parallel.Map(cfg.Parallel, len(ctis), func(i int) (attempt, error) {
+		cti := ctis[i]
 		pa, pb := profOf[cti.A.ID], profOf[cti.B.ID]
 		if pa == nil || pb == nil {
-			return res, fmt.Errorf("razzer: CTI %d references STI outside the pool", cti.ID)
+			return attempt{}, fmt.Errorf("%w: CTI %d", ErrUnknownSTI, cti.ID)
 		}
-		sampler := ski.NewSampler(pa, pb, rng.Uint64())
+		var att attempt
+		sampler := ski.NewSampler(pa, pb, seeds[i])
 		for s := 0; s < cfg.SchedulesPerCTI; s++ {
 			out, err := ski.Execute(f.K, cti, sampler.Next())
 			if err != nil {
-				return res, err
+				return att, fmt.Errorf("%w: %w", explore.ErrExec, err)
 			}
+			att.execs++
 			for _, r := range race.Detect(out) {
 				if target.Matches(r) {
-					tp[i] = true
+					att.tp = true
 					break
 				}
 			}
-			if tp[i] {
+			if att.tp {
 				break
 			}
 		}
-		if tp[i] {
+		return att, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	tp := make([]bool, len(ctis))
+	for i, att := range atts {
+		tp[i] = att.tp
+		if att.tp {
 			res.TPCTIs++
 		}
+		res.Execs += att.execs
 	}
+	f.led.Charge(res.Execs, 0)
 	if res.TPCTIs == 0 {
 		return res, nil
 	}
 	res.Reproduced = true
 
 	// Simulated time accounting: each queued CTI costs a full schedule
-	// sweep; reaching the first true positive ends the search.
-	perCTI := float64(cfg.SchedulesPerCTI) * cfg.ExecSeconds / 3600
+	// sweep; reaching the first true positive ends the search. The
+	// per-CTI charge runs through a ledger so the cost constant and the
+	// clock arithmetic are the shared explore ones.
+	sweep := explore.NewLedger(explore.CostModel{ExecSeconds: cfg.ExecSeconds})
+	sweep.Charge(cfg.SchedulesPerCTI, 0)
+	perCTI := sweep.Hours()
 	res.WorstHours = float64(len(ctis)-res.TPCTIs+1) * perCTI
 	shuffles := cfg.Shuffles
 	if shuffles <= 0 {

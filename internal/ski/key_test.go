@@ -1,0 +1,79 @@
+package ski
+
+import (
+	"fmt"
+	"testing"
+
+	"snowcat/internal/sim"
+)
+
+// referenceKey is the old Sprintf-concatenation Key, verbatim; the
+// builder-based Key must emit byte-identical strings (sampler dedup maps
+// and dataset dedup persist these keys).
+func referenceKey(s Schedule) string {
+	k := ""
+	for _, h := range s.Hints {
+		k += fmt.Sprintf("%d@%s;", h.Thread, h.Ref)
+	}
+	for _, q := range s.IRQs {
+		k += fmt.Sprintf("irq%d:%d@%s;", q.IRQ, q.Thread, q.Ref)
+	}
+	return k
+}
+
+func TestKeyMatchesReferenceFormat(t *testing.T) {
+	cases := []Schedule{
+		{},
+		{Hints: []Hint{{Thread: 0, Ref: sim.InstrRef{Block: 0, Idx: 0}}}},
+		{Hints: []Hint{
+			{Thread: 1, Ref: sim.InstrRef{Block: 42, Idx: 7}},
+			{Thread: 0, Ref: sim.InstrRef{Block: 1234567, Idx: 89}},
+		}},
+		{Hints: []Hint{{Thread: -1, Ref: sim.InstrRef{Block: -5, Idx: -6}}}},
+		{
+			Hints: []Hint{{Thread: 0, Ref: sim.InstrRef{Block: 3, Idx: 1}}},
+			IRQs: []IRQHint{
+				{Thread: 1, Ref: sim.InstrRef{Block: 9, Idx: 2}, IRQ: 0},
+				{Thread: 0, Ref: sim.InstrRef{Block: 11, Idx: 0}, IRQ: 31},
+			},
+		},
+		{IRQs: []IRQHint{{Thread: 1, Ref: sim.InstrRef{Block: 2147483647, Idx: 3}, IRQ: -2}}},
+	}
+	for i, s := range cases {
+		if got, want := s.Key(), referenceKey(s); got != want {
+			t.Fatalf("case %d: key %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestKeyDistinguishesSchedules(t *testing.T) {
+	a := Schedule{Hints: []Hint{{Thread: 0, Ref: sim.InstrRef{Block: 12, Idx: 3}}}}
+	b := Schedule{Hints: []Hint{{Thread: 0, Ref: sim.InstrRef{Block: 1, Idx: 23}}}}
+	c := Schedule{Hints: []Hint{{Thread: 0, Ref: sim.InstrRef{Block: 12, Idx: 3}}, {Thread: 1, Ref: sim.InstrRef{Block: 0, Idx: 0}}}}
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatalf("key collision: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+}
+
+func benchSchedule(hints int) Schedule {
+	var s Schedule
+	for i := 0; i < hints; i++ {
+		s.Hints = append(s.Hints, Hint{Thread: int32(i % 2), Ref: sim.InstrRef{Block: int32(i * 37), Idx: int32(i % 5)}})
+	}
+	s.IRQs = append(s.IRQs, IRQHint{Thread: 1, Ref: sim.InstrRef{Block: 99, Idx: 1}, IRQ: 2})
+	return s
+}
+
+func BenchmarkScheduleKey(b *testing.B) {
+	for _, hints := range []int{2, 16, 128} {
+		s := benchSchedule(hints)
+		b.Run(fmt.Sprintf("hints=%d", hints), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if s.Key() == "" {
+					b.Fatal("empty key")
+				}
+			}
+		})
+	}
+}

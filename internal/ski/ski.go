@@ -13,6 +13,8 @@ package ski
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"snowcat/internal/kernel"
 	"snowcat/internal/sim"
@@ -55,16 +57,40 @@ type Schedule struct {
 	IRQs  []IRQHint
 }
 
-// Key returns a comparable identity for deduplicating schedules.
+// Key returns a comparable identity for deduplicating schedules. Every
+// proposal a sampler draws is keyed, so the key is built in one
+// preallocated pass rather than by quadratic string concatenation; the
+// byte format is unchanged ("T@bB:I;" per hint, "irqQ:T@bB:I;" per
+// injection, matching the historical Sprintf output).
 func (s Schedule) Key() string {
-	k := ""
+	var b strings.Builder
+	b.Grow(len(s.Hints)*12 + len(s.IRQs)*18)
+	var scratch [20]byte
+	num := func(x int32) {
+		b.Write(strconv.AppendInt(scratch[:0], int64(x), 10))
+	}
+	ref := func(r sim.InstrRef) { // r in its String format, "bB:I"
+		b.WriteByte('b')
+		num(r.Block)
+		b.WriteByte(':')
+		num(r.Idx)
+	}
 	for _, h := range s.Hints {
-		k += fmt.Sprintf("%d@%s;", h.Thread, h.Ref)
+		num(h.Thread)
+		b.WriteByte('@')
+		ref(h.Ref)
+		b.WriteByte(';')
 	}
 	for _, q := range s.IRQs {
-		k += fmt.Sprintf("irq%d:%d@%s;", q.IRQ, q.Thread, q.Ref)
+		b.WriteString("irq")
+		num(q.IRQ)
+		b.WriteByte(':')
+		num(q.Thread)
+		b.WriteByte('@')
+		ref(q.Ref)
+		b.WriteByte(';')
 	}
-	return k
+	return b.String()
 }
 
 // Result is everything observed during one concurrent execution.

@@ -1,0 +1,126 @@
+package snowboard
+
+import (
+	"reflect"
+	"testing"
+
+	"snowcat/internal/cfg"
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/predictor"
+	"snowcat/internal/strategy"
+)
+
+// This file pins the explore.Walk refactor of the Snowboard samplers
+// against a verbatim copy of the pre-refactor SB-PIC loop: sampled member
+// sets and Table-5 rows must stay bit-identical at every batch size and
+// the acceptance worker counts {1, 4}. Do not modernise the reference
+// implementation below — its job is to stay exactly as the old code was.
+
+// referencePICSample is the old PIC.Sample, verbatim: one sequential loop
+// of monolithic per-member graph builds and unbatched predictions
+// (mlpct.Prediction inlined as strategy.FromScores, which carries the
+// identical body).
+func referencePICSample(s *PIC, c *Cluster) []int {
+	s.Strat.Reset() // cumulative novelty is judged within a cluster
+	hint := c.Hint()
+	var out []int
+	for i, m := range c.Members {
+		g := s.Builder.Build(m.CTI, m.ProfA, m.ProfB, hint)
+		p := strategy.FromScores(s.Pred.Score(g), s.Pred.Threshold())
+		if strategy.Select(s.Strat, g, p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// referenceRunTrials drives RunTrials through referencePICSample via a
+// wrapper sampler, so reference Table-5 rows use the old loop end to end.
+type referenceSampler struct{ pic *PIC }
+
+func (r referenceSampler) Name() string            { return r.pic.Name() }
+func (r referenceSampler) Sample(c *Cluster) []int { return referencePICSample(r.pic, c) }
+
+// pinFixture returns the largest INS-PAIR cluster of a small kernel plus a
+// synthetic triggering vector (RunTrials takes ground truth as input, so
+// the pin needs no dynamic executions).
+func pinFixture(t *testing.T, seed uint64) (*ctgraph.Builder, *Cluster, []bool) {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(seed))
+	ms := members(t, k, seed+1, 30)
+	clusters := ClusterCTIs(ms)
+	var big *Cluster
+	for _, c := range clusters {
+		if big == nil || len(c.Members) > len(big.Members) {
+			big = c
+		}
+	}
+	if big == nil || len(big.Members) < 2 {
+		t.Fatalf("seed %d: no cluster with >= 2 members", seed)
+	}
+	triggering := make([]bool, len(big.Members))
+	for i := range triggering {
+		triggering[i] = i%3 == 0
+	}
+	return ctgraph.NewBuilder(k, cfg.Build(k)), big, triggering
+}
+
+// TestPinnedPICSampleMatchesPreRefactorLoop pins the walk-based SB-PIC
+// sampler against the verbatim sequential loop for both paper strategies
+// and two predictors, across batch sizes and the acceptance worker counts
+// {1, 4}.
+func TestPinnedPICSampleMatchesPreRefactorLoop(t *testing.T) {
+	b, c, triggering := pinFixture(t, 41)
+	strats := []func() strategy.Strategy{
+		func() strategy.Strategy { return strategy.NewS1() },
+		func() strategy.Strategy { return strategy.NewS2() },
+	}
+	preds := []predictor.Predictor{predictor.AllPos{}, predictor.FairCoin(9)}
+	for si, mk := range strats {
+		for pi, pred := range preds {
+			ref := NewPIC(b, pred, mk())
+			want := referencePICSample(ref, c)
+			for _, batch := range []int{1, 3, 64} {
+				for _, workers := range []int{1, 4} {
+					s := NewPIC(b, pred, mk())
+					s.Batch, s.Parallel = batch, workers
+					got := s.Sample(c)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("strat=%d pred=%d batch=%d workers=%d: sampled set diverged from pre-refactor loop\ngot  %v\nwant %v",
+							si, pi, batch, workers, got, want)
+					}
+					if s.Ledger().Inferences() != len(c.Members) {
+						t.Fatalf("ledger charged %d inferences for %d members", s.Ledger().Inferences(), len(c.Members))
+					}
+				}
+			}
+
+			// Table-5 rows, end to end: same trials through the reference
+			// loop and through the walk at the acceptance worker counts.
+			wantRow := RunTrials(c, referenceSampler{pic: NewPIC(b, pred, mk())}, triggering, 20)
+			for _, workers := range []int{1, 4} {
+				s := NewPIC(b, pred, mk())
+				s.Batch, s.Parallel = 8, workers
+				gotRow := RunTrials(c, s, triggering, 20)
+				if !reflect.DeepEqual(gotRow, wantRow) {
+					t.Fatalf("strat=%d pred=%d workers=%d: Table-5 row diverged\ngot  %+v\nwant %+v",
+						si, pi, workers, gotRow, wantRow)
+				}
+			}
+		}
+	}
+}
+
+// TestPICLiteralConstruction pins that a literal-constructed sampler (no
+// NewPIC) lazily allocates its ledger instead of crashing.
+func TestPICLiteralConstruction(t *testing.T) {
+	b, c, _ := pinFixture(t, 43)
+	s := &PIC{Builder: b, Pred: predictor.AllPos{}, Strat: strategy.NewS2(), Label: "lit"}
+	if got := s.Sample(c); len(got) == 0 {
+		t.Fatal("AllPos SB-PIC sampled nothing")
+	}
+	if s.Ledger() == nil || s.Ledger().Inferences() == 0 {
+		t.Fatal("lazy ledger not allocated")
+	}
+}

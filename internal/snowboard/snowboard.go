@@ -13,12 +13,13 @@
 package snowboard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/explore"
 	"snowcat/internal/kernel"
-	"snowcat/internal/mlpct"
 	"snowcat/internal/predictor"
 	"snowcat/internal/sim"
 	"snowcat/internal/ski"
@@ -26,6 +27,10 @@ import (
 	"snowcat/internal/syz"
 	"snowcat/internal/xrand"
 )
+
+// ErrEmptyTrace reports a member whose write-side profile has no executed
+// instructions, leaving Explore nothing to derive switch points from.
+var ErrEmptyTrace = errors.New("snowboard: member has empty instruction trace")
 
 // PairKey identifies an INS-PAIR cluster: a potential inter-thread data
 // flow from a write instruction to a read instruction on one address.
@@ -132,32 +137,67 @@ func (s *RND) Sample(c *Cluster) []int {
 }
 
 // PIC samples members whose predicted coverage under the cluster's
-// synthetic hint is interesting per the selection strategy.
+// synthetic hint is interesting per the selection strategy. Each Sample is
+// one explore.Walk over the cluster's members: graph building and scoring
+// fan out across Parallel workers in Batch-sized rounds while the strategy
+// walks members strictly in cluster order, so the sampled set is identical
+// for every setting.
 type PIC struct {
 	Builder *ctgraph.Builder
 	Pred    predictor.Predictor
 	Strat   strategy.Strategy
 	Label   string
+	// Batch is how many members are proposed per scoring round; <= 0
+	// means 1.
+	Batch int
+	// Parallel bounds the graph-build/score worker pool; <= 0 means 1.
+	Parallel int
+	// Hooks observes the walk (see explore.Hooks); nil disables.
+	Hooks *explore.Hooks
+
+	// led accumulates the sampler's proposal and inference counts.
+	led *explore.Ledger
 }
 
 // NewPIC creates an SB-PIC sampler with the given strategy (S1 or S2).
 func NewPIC(b *ctgraph.Builder, pred predictor.Predictor, strat strategy.Strategy) *PIC {
 	return &PIC{Builder: b, Pred: pred, Strat: strat,
-		Label: fmt.Sprintf("SB-PIC(%s)", strat.Name())}
+		Label: fmt.Sprintf("SB-PIC(%s)", strat.Name()),
+		led:   explore.NewLedger(explore.CostModel{})}
 }
 
 func (s *PIC) Name() string { return s.Label }
 
+// Ledger exposes the sampler's accounting: one inference per member walked
+// across all Sample calls. Nil until the sampler has sampled (literal-
+// constructed samplers allocate it lazily).
+func (s *PIC) Ledger() *explore.Ledger { return s.led }
+
 func (s *PIC) Sample(c *Cluster) []int {
 	s.Strat.Reset() // cumulative novelty is judged within a cluster
+	if s.led == nil {
+		s.led = explore.NewLedger(explore.CostModel{})
+	}
 	hint := c.Hint()
+	th := s.Pred.Threshold()
+	w := &explore.Walk{
+		Source: explore.Members(len(c.Members), func(i int) (ski.CTI, ski.Schedule) {
+			return c.Members[i].CTI, hint
+		}),
+		Build: func(cand explore.Candidate) *ctgraph.Graph {
+			m := c.Members[cand.Payload]
+			return s.Builder.Build(m.CTI, m.ProfA, m.ProfB, hint)
+		},
+		Score: s.Pred,
+		Accept: func(cand explore.Candidate, g *ctgraph.Graph, scores []float64) bool {
+			return strategy.Select(s.Strat, g, strategy.FromScores(scores, th))
+		},
+		Batch: s.Batch, Workers: s.Parallel,
+		Ledger: s.led, Hooks: s.Hooks,
+	}
 	var out []int
-	for i, m := range c.Members {
-		g := s.Builder.Build(m.CTI, m.ProfA, m.ProfB, hint)
-		p := mlpct.Prediction(s.Pred, g)
-		if strategy.Select(s.Strat, g, p) {
-			out = append(out, i)
-		}
+	for _, cand := range w.Run() {
+		out = append(out, cand.Payload)
 	}
 	return out
 }
@@ -169,28 +209,31 @@ func (s *PIC) Sample(c *Cluster) []int {
 // exactly the switch structure that can realise the pair. Reports whether
 // the planted bug fired.
 func Explore(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedules int, seed uint64) (bool, int, error) {
-	execs := 0
+	led := explore.NewLedger(explore.CostModel{})
 	run := func(sched ski.Schedule) (bool, error) {
 		res, err := ski.Execute(k, m.CTI, sched)
 		if err != nil {
-			return false, err
+			return false, fmt.Errorf("%w: %w", explore.ErrExec, err)
 		}
-		execs++
+		led.Charge(1, 0)
 		return res.HitBug(bugID), nil
 	}
 	hit, err := run(c.Hint())
 	if err != nil || hit {
-		return hit, execs, err
+		return hit, led.Execs(), err
+	}
+	if extraSchedules > 0 && len(m.ProfA.InstrTrace) == 0 {
+		return false, led.Execs(), fmt.Errorf("%w: CTI %d", ErrEmptyTrace, m.CTI.ID)
 	}
 	rng := xrand.New(seed)
 	for i := 0; i < extraSchedules; i++ {
 		ref := m.ProfA.InstrTrace[rng.Intn(len(m.ProfA.InstrTrace))]
 		hit, err = run(ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: ref}}})
 		if err != nil || hit {
-			return hit, execs, err
+			return hit, led.Execs(), err
 		}
 	}
-	return false, execs, nil
+	return false, led.Execs(), nil
 }
 
 // TrialResult summarises one sampling experiment over a buggy cluster.

@@ -23,6 +23,16 @@ type Prediction struct {
 	Scores []float64
 }
 
+// FromScores packages raw predictor scores for the selection strategies:
+// labels are the scores thresholded at th.
+func FromScores(scores []float64, th float64) Prediction {
+	labels := make([]bool, len(scores))
+	for i, s := range scores {
+		labels[i] = s >= th
+	}
+	return Prediction{Labels: labels, Scores: scores}
+}
+
 // Strategy judges whether a candidate CT's predicted coverage is worth a
 // dynamic execution.
 type Strategy interface {
