@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build lint test test-race vet bench bench-parallel bench-predict bench-campaign
+.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,20 @@ test: lint
 		./internal/tensor ./internal/nn ./internal/ctgraph ./internal/pic .
 	$(GO) test -race -run 'TestWalkInvariantToBatchAndWorkers|TestExecutePlanMatchesDirectExecution|TestPinnedPlansMatchPreRefactorLoops|TestPinnedHistoryMatchesPreRefactorRun|TestPinnedReproduceMatchesPreRefactorLoop|TestPinnedPICSampleMatchesPreRefactorLoop' \
 		./internal/explore ./internal/mlpct ./internal/campaign ./internal/razzer ./internal/snowboard
+	$(GO) test -race -run 'ZeroRate|Chaos|TestCampaignSurvivesFullFaultRate|TestReproduceSurvivesFullFaultRate|TestExploreRNilResilienceMatchesExplore|TestExploreRQuarantineGivesUp|TestExecutePlanQuarantine|TestWalkDegradesBuildPanic' \
+		./internal/explore ./internal/campaign ./internal/razzer ./internal/snowboard
 
 test-race:
 	$(GO) test -race ./...
+
+# Runs each native fuzz target for ~10s with no new corpus persistence —
+# the quick regression pass CI uses (a real fuzzing session just raises
+# -fuzztime). One invocation per target: go test accepts a single -fuzz
+# pattern and it must match exactly one target in the package.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzScheduleKey$$' -fuzztime 10s ./internal/ski
+	$(GO) test -run '^$$' -fuzz '^FuzzExecute$$' -fuzztime 10s ./internal/ski
+	$(GO) test -run '^$$' -fuzz '^FuzzCTGraphBuild$$' -fuzztime 10s ./internal/ctgraph
 
 vet:
 	$(GO) vet ./...

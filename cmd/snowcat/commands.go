@@ -10,6 +10,7 @@ import (
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/dataset"
 	"snowcat/internal/explore"
+	"snowcat/internal/faults"
 	"snowcat/internal/kernel"
 	"snowcat/internal/mlpct"
 	"snowcat/internal/pic"
@@ -26,6 +27,35 @@ import (
 // deterministic, so the worker count changes wall-clock time only.
 func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", runtime.NumCPU(), "worker count for parallel phases (results are identical at any count)")
+}
+
+// faultFlags registers the chaos-testing flags shared by the campaign,
+// razzer and snowboard commands: a deterministic fault injector plus the
+// retry/quarantine resilience policy it is paired with.
+func faultFlags(fs *flag.FlagSet) (rate *float64, fseed *uint64, retries *int) {
+	rate = fs.Float64("fault-rate", 0, "probability of injecting a fault per execution attempt (0 disables chaos testing)")
+	fseed = fs.Uint64("fault-seed", 1, "seed of the deterministic fault injector")
+	retries = fs.Int("retries", 0, "max retries per failed execution (0 keeps the policy default)")
+	return
+}
+
+// resilienceFromFlags builds the resilience layer the chaos flags describe,
+// or nil (the legacy fail-fast pipeline, bit-identical to builds without
+// the faults package) when chaos testing is off. The quarantine list is
+// per-run state, so call this once per campaign/reproduction run.
+func resilienceFromFlags(rate float64, seed uint64, retries int) (*explore.Resilience, error) {
+	if rate <= 0 && retries <= 0 {
+		return nil, nil
+	}
+	p := faults.DefaultPolicy()
+	if retries > 0 {
+		p.MaxRetries = retries
+	}
+	var inj *faults.Injector
+	if rate > 0 {
+		inj = faults.New(seed, rate)
+	}
+	return explore.NewResilience(inj, p)
 }
 
 // kernelFromFlags builds a kernel at the requested size.
@@ -247,6 +277,7 @@ func cmdCampaign(args []string) error {
 	budget := fs.Int("budget", 20, "dynamic executions per CTI")
 	progress := fs.Bool("progress", false, "print pipeline progress from the explore hooks")
 	every := fs.Int("progress-every", 100, "executions between -progress lines")
+	rate, fseed, retries := faultFlags(fs)
 	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -282,10 +313,21 @@ func cmdCampaign(args []string) error {
 
 	r := campaign.NewRunner(k)
 	opts := campaignOptions(*budget)
+	// The quarantine list is per-run state, so each run gets a fresh
+	// resilience layer (nil when chaos testing is off).
+	resPCT, err := resilienceFromFlags(*rate, *fseed, *retries)
+	if err != nil {
+		return err
+	}
 	pct, err := r.Run(campaign.Config{
 		Name: "PCT", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
 		Cost: campaign.PaperCosts(), Parallel: *par, Hooks: hooks,
+		Resilience: resPCT,
 	})
+	if err != nil {
+		return err
+	}
+	resML, err := resilienceFromFlags(*rate, *fseed, *retries)
 	if err != nil {
 		return err
 	}
@@ -293,6 +335,7 @@ func cmdCampaign(args []string) error {
 		Name: "MLPCT-S1", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
 		Cost: campaign.PaperCosts(), Parallel: *par, Hooks: hooks,
 		Pred: predictor.NewPIC(m, tc, "PIC"), Strat: strategy.NewS1(),
+		Resilience: resML,
 	})
 	if err != nil {
 		return err
@@ -304,6 +347,10 @@ func cmdCampaign(args []string) error {
 		last := h.Points[len(h.Points)-1]
 		fmt.Printf("%-10s races=%d blocks=%d execs=%d infers=%d simulated-hours=%.2f bugs=%v\n",
 			h.Name, h.FinalRaces, h.FinalBlocks, h.TotalExecs, h.TotalInfers, last.Hours, bugIDs(h))
+		if resPCT != nil {
+			fmt.Printf("%-10s   chaos: retries=%d skipped=%d quarantined=%d\n",
+				h.Name, h.Retries, h.Skipped, h.Quarantined)
+		}
 	}
 	return nil
 }
@@ -324,6 +371,7 @@ func cmdRazzer(args []string) error {
 	pool := fs.Int("pool", 40, "random STIs in the fuzzing pool")
 	schedules := fs.Int("schedules", 200, "random schedules per candidate CTI")
 	maxCTIs := fs.Int("maxctis", 20, "cap on candidates per mode")
+	rate, fseed, retries := faultFlags(fs)
 	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -368,12 +416,22 @@ func cmdRazzer(args []string) error {
 			if len(ctis) > *maxCTIs {
 				ctis = ctis[:*maxCTIs]
 			}
+			// Fresh resilience layer per reproduction run: the per-candidate
+			// give-up tallies must not leak across modes.
+			cfg.Resilience, err = resilienceFromFlags(*rate, *fseed, *retries)
+			if err != nil {
+				return err
+			}
 			res, err := finder.Reproduce(tr, ctis, cfg)
 			if err != nil {
 				return err
 			}
 			res.Mode = mode
 			fmt.Printf("  %s\n", res)
+			if cfg.Resilience != nil {
+				fmt.Printf("    chaos: retries=%d skipped=%d quarantined=%d\n",
+					res.Retries, res.Skipped, res.Quarantined)
+			}
 		}
 	}
 	led := finder.Ledger()
@@ -387,6 +445,7 @@ func cmdSnowboard(args []string) error {
 	model := fs.String("model", "pic.gob", "model file for SB-PIC")
 	members := fs.Int("members", 20, "CTI candidates per bug cluster")
 	trials := fs.Int("trials", 500, "sampling trials per cluster")
+	rate, fseed, retries := faultFlags(fs)
 	par := parallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -418,6 +477,15 @@ func cmdSnowboard(args []string) error {
 		picSampler(strategy.NewS2()),
 	}
 
+	res, err := resilienceFromFlags(*rate, *fseed, *retries)
+	if err != nil {
+		return err
+	}
+	// One cumulative ledger across every member exploration so the chaos
+	// counters can be reported at the end; nil resilience leaves it at the
+	// legacy per-execution charges.
+	fled := explore.NewLedger(explore.CostModel{})
+
 	found := 0
 	for _, bug := range k.Bugs {
 		var ms []snowboard.Member
@@ -441,7 +509,7 @@ func cmdSnowboard(args []string) error {
 			trig := make([]bool, len(c.Members))
 			any, all := false, true
 			for i, mem := range c.Members {
-				hit, _, err := snowboard.Explore(k, mem, c, bug.ID, 20, *seed+uint64(60+i))
+				hit, _, err := snowboard.ExploreR(k, mem, c, bug.ID, 20, *seed+uint64(60+i), res, fled, nil)
 				if err != nil {
 					return err
 				}
@@ -465,6 +533,10 @@ func cmdSnowboard(args []string) error {
 	}
 	if found == 0 {
 		fmt.Println("no buggy cluster with mixed triggering members at this seed; try another -seed")
+	}
+	if res != nil {
+		fmt.Printf("chaos: retries=%d skipped=%d quarantined=%d (%d executions)\n",
+			fled.Retries(), fled.Skipped(), fled.Quarantined(), fled.Execs())
 	}
 	return nil
 }

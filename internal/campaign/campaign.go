@@ -15,6 +15,7 @@ import (
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/explore"
+	"snowcat/internal/faults"
 	"snowcat/internal/kernel"
 	"snowcat/internal/mlpct"
 	"snowcat/internal/parallel"
@@ -59,6 +60,10 @@ type History struct {
 	BugsFound   map[int32]bool // planted bugs triggered
 	FinalRaces  int
 	FinalBlocks int
+	// Resilience counters; all zero when Config.Resilience is nil.
+	Retries     int // executions retried after injected/real failures
+	Skipped     int // candidates given up on (skip-and-log degradation)
+	Quarantined int // CTIs quarantined as repeat offenders
 }
 
 // HoursToReach returns the first simulated time at which the history
@@ -109,6 +114,12 @@ type Config struct {
 	// worker count. PCT plan construction shards across workers and fires
 	// no per-candidate hooks.
 	Hooks *explore.Hooks
+	// Resilience, when non-nil, runs every dynamic execution through the
+	// fault-injection retry/quarantine layer and degrades failures to
+	// skipped candidates instead of aborting the campaign. Nil keeps the
+	// legacy fail-fast pipeline bit-identically. Quarantine is keyed by
+	// this run's CTI IDs, so pass a fresh Resilience per Run.
+	Resilience *explore.Resilience
 }
 
 // Runner executes campaigns over one kernel. The CTI stream is derived
@@ -155,6 +166,7 @@ func (r *Runner) Run(c Config) (*History, error) {
 		opts.Parallel = workers
 	}
 	exp := mlpct.NewExplorer(r.K, r.Builder, opts)
+	exp.Resilience = c.Resilience
 	if c.Pred != nil {
 		// MLPCT plans are built sequentially (the strategy's memory spans
 		// CTIs), so the walk-level hooks stay deterministic.
@@ -218,15 +230,33 @@ func (r *Runner) Run(c Config) (*History, error) {
 	type execResult struct {
 		res   *ski.Result
 		races []race.Race
+		rep   faults.Report // resilient campaigns only
 	}
-	execs, err := parallel.Map(workers, len(flat), func(k int) (execResult, error) {
-		j := flat[k]
-		res, err := ski.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
-		if err != nil {
-			return execResult{}, err
-		}
-		return execResult{res: res, races: race.Detect(res)}, nil
-	})
+	var execs []execResult
+	if c.Resilience != nil {
+		// Executions run through the fault injector and retry loop; race
+		// detection still fans out here, on the successful results. Fault
+		// decisions are pure per-attempt hashes, so the reports — like the
+		// fold below — are identical at every worker count.
+		execs, err = parallel.Map(workers, len(flat), func(k int) (execResult, error) {
+			j := flat[k]
+			rep := c.Resilience.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
+			e := execResult{res: rep.Res, rep: rep}
+			if rep.Err == nil {
+				e.races = race.Detect(rep.Res)
+			}
+			return e, nil
+		})
+	} else {
+		execs, err = parallel.Map(workers, len(flat), func(k int) (execResult, error) {
+			j := flat[k]
+			res, err := ski.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
+			if err != nil {
+				return execResult{}, err
+			}
+			return execResult{res: res, races: race.Detect(res)}, nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -247,9 +277,7 @@ func (r *Runner) Run(c Config) (*History, error) {
 	k := 0
 	for i, p := range plans {
 		pa, pb := profs[i].pa, profs[i].pb
-		for j := range p.Scheds {
-			e := execs[k]
-			k++
+		fold := func(j int, e execResult) {
 			races.Add(e.races)
 			for id, cov := range e.res.Covered {
 				if cov && !pa.Covered[id] && !pb.Covered[id] {
@@ -263,8 +291,54 @@ func (r *Runner) Run(c Config) (*History, error) {
 				Seq: j, CTI: p.CTI, Sched: p.Scheds[j],
 			}, e.res)
 		}
-		led.Propose(p.Proposed)
-		led.Charge(len(p.Scheds), p.Inferences)
+		if c.Resilience == nil {
+			for j := range p.Scheds {
+				fold(j, execs[k])
+				k++
+			}
+			led.Propose(p.Proposed)
+			led.Charge(len(p.Scheds), p.Inferences)
+		} else {
+			// Resilient settle: quarantined candidates skip uncharged, the
+			// CTI's surviving attempts and inferences are charged as one
+			// expression — bit-identical to the legacy clock arithmetic
+			// when no fault ever fires — and backoff/penalty seconds ride
+			// on top only when non-zero.
+			attempts, retries := 0, 0
+			extra := 0.0
+			for j := range p.Scheds {
+				e := execs[k]
+				k++
+				cand := explore.Candidate{Seq: j, CTI: p.CTI, Sched: p.Scheds[j]}
+				if c.Resilience.Quarantined(p.CTI.ID) {
+					led.RecordSkips(1)
+					c.Hooks.CandidateSkippedHook(cand, faults.ErrQuarantined)
+					continue
+				}
+				attempts += e.rep.Attempts
+				retries += e.rep.Attempts - 1
+				extra += e.rep.BackoffSeconds + e.rep.PenaltySeconds
+				if e.rep.Attempts > 1 {
+					c.Hooks.ExecRetriedHook(cand, e.rep.Attempts-1)
+				}
+				if e.rep.Err != nil {
+					led.RecordSkips(1)
+					c.Hooks.CandidateSkippedHook(cand, e.rep.Err)
+					if c.Resilience.NoteFailure(p.CTI.ID) {
+						led.RecordQuarantines(1)
+						c.Hooks.CTIQuarantinedHook(p.CTI)
+					}
+					continue
+				}
+				fold(j, e)
+			}
+			led.RecordRetries(retries)
+			led.Propose(p.Proposed)
+			led.Charge(attempts, p.Inferences)
+			if extra != 0 {
+				led.ChargeSeconds(extra)
+			}
+		}
 		hist.CTIs++
 
 		hist.Points = append(hist.Points, Point{
@@ -275,6 +349,9 @@ func (r *Runner) Run(c Config) (*History, error) {
 	}
 	hist.TotalExecs = led.Execs()
 	hist.TotalInfers = led.Inferences()
+	hist.Retries = led.Retries()
+	hist.Skipped = led.Skipped()
+	hist.Quarantined = led.Quarantined()
 	// The per-CTI clock charges are non-negative (Validate), so Points are
 	// already in clock order; the stable sort is a guard that keeps the
 	// invariant explicit for future cost models.

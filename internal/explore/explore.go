@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/faults"
 	"snowcat/internal/kernel"
 	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
@@ -146,6 +147,11 @@ type Walk struct {
 	Ledger *Ledger
 	Hooks  *Hooks
 
+	// Resilience, when non-nil, degrades a panicking GraphBuild stage to
+	// a skipped-and-logged candidate instead of re-raising the worker
+	// panic. Nil keeps the legacy fail-fast behaviour bit-identically.
+	Resilience *Resilience
+
 	cti ski.CTI // CTI of the last proposed candidate, for BudgetExhausted
 }
 
@@ -193,9 +199,13 @@ func (w *Walk) Run() []Candidate {
 		}
 		var graphs []*ctgraph.Graph
 		if w.Build != nil {
+			build := w.Build
+			if w.Resilience != nil {
+				build = func(c Candidate) *ctgraph.Graph { return safeBuild(w.Build, c) }
+			}
 			var err error
 			graphs, err = parallel.Map(w.Workers, len(cands), func(i int) (*ctgraph.Graph, error) {
-				return w.Build(cands[i]), nil
+				return build(cands[i]), nil
 			})
 			if err != nil {
 				panic(err) // only a worker panic can land here; re-raise it
@@ -203,8 +213,39 @@ func (w *Walk) Run() []Candidate {
 		}
 		var scores [][]float64
 		if w.Score != nil {
-			scores = predictor.ScoreAll(w.Score, graphs, w.Workers)
-			w.Hooks.batchScored(cands[0].CTI, len(cands))
+			// With resilience, a failed build leaves a nil graph; score the
+			// surviving graphs as one batch and scatter the scores back.
+			// With no failures (and always without resilience) this is the
+			// identity and the legacy single ScoreAll call.
+			toScore, idx := graphs, []int(nil)
+			if w.Resilience != nil {
+				for i, g := range graphs {
+					if g == nil {
+						if idx == nil {
+							idx = make([]int, 0, len(graphs))
+							toScore = append([]*ctgraph.Graph(nil), graphs[:i]...)
+							for j := 0; j < i; j++ {
+								idx = append(idx, j)
+							}
+						}
+						continue
+					}
+					if idx != nil {
+						idx = append(idx, i)
+						toScore = append(toScore, g)
+					}
+				}
+			}
+			raw := predictor.ScoreAll(w.Score, toScore, w.Workers)
+			if idx == nil {
+				scores = raw
+			} else {
+				scores = make([][]float64, len(cands))
+				for j, i := range idx {
+					scores[i] = raw[j]
+				}
+			}
+			w.Hooks.batchScored(cands[0].CTI, len(toScore))
 		}
 		for i, c := range cands {
 			if execExhausted(len(selected)) || inferExhausted() {
@@ -212,6 +253,13 @@ func (w *Walk) Run() []Candidate {
 			}
 			led.Propose(1)
 			w.Hooks.candidateProposed(c)
+			if w.Resilience != nil && w.Build != nil && graphs[i] == nil {
+				// The build stage panicked on this candidate: skip-and-log
+				// (its proposal is charged, no inference ever ran).
+				led.RecordSkips(1)
+				w.Hooks.CandidateSkippedHook(c, ErrBuild)
+				continue
+			}
 			var g *ctgraph.Graph
 			var sc []float64
 			if graphs != nil {
@@ -238,23 +286,47 @@ func (w *Walk) Run() []Candidate {
 // CTI on at most workers goroutines (<= 0 means 1) and returns the results
 // in selection order, so the output is identical for any worker count.
 // Each result is charged to the ledger — and its hook fired — during the
-// sequential in-order fold. A failed execution wraps ErrExec alongside the
-// underlying ski error; in that case no charges are recorded.
+// sequential in-order fold.
+//
+// With res == nil the stage is fail-fast: a failed execution wraps ErrExec
+// alongside the underlying ski error and no charges are recorded. With a
+// resilience layer, executions run through the fault injector and retry
+// policy instead; a candidate whose every attempt failed (or whose CTI is
+// quarantined) yields a nil entry in the returned slice — skip-and-log
+// degradation, never an error — and the fold charges attempts, backoff and
+// penalties per the policy.
 func ExecutePlan(k *kernel.Kernel, cti ski.CTI, scheds []ski.Schedule, workers int,
-	led *Ledger, hooks *Hooks) ([]*ski.Result, error) {
+	led *Ledger, hooks *Hooks, res *Resilience) ([]*ski.Result, error) {
 
-	results, err := parallel.Map(workers, len(scheds), func(i int) (*ski.Result, error) {
-		return ski.Execute(k, cti, scheds[i])
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrExec, err)
-	}
 	if led == nil {
 		led = NewLedger(CostModel{})
 	}
-	for i, res := range results {
-		led.Charge(1, 0)
-		hooks.ScheduleExecutedHook(Candidate{Seq: i, CTI: cti, Sched: scheds[i]}, res)
+	if res == nil {
+		results, err := parallel.Map(workers, len(scheds), func(i int) (*ski.Result, error) {
+			return ski.Execute(k, cti, scheds[i])
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrExec, err)
+		}
+		for i, r := range results {
+			led.Charge(1, 0)
+			hooks.ScheduleExecutedHook(Candidate{Seq: i, CTI: cti, Sched: scheds[i]}, r)
+		}
+		return results, nil
 	}
-	return results, nil
+	reports, err := parallel.Map(workers, len(scheds), func(i int) (faults.Report, error) {
+		return res.Execute(k, cti, scheds[i]), nil
+	})
+	if err != nil {
+		panic(err) // faults.Run recovers exec panics; reaching this is a pipeline bug
+	}
+	out := make([]*ski.Result, len(scheds))
+	for i, rep := range reports {
+		c := Candidate{Seq: i, CTI: cti, Sched: scheds[i]}
+		if r := res.Fold(c, rep, led, hooks); r != nil {
+			out[i] = r
+			hooks.ScheduleExecutedHook(c, r)
+		}
+	}
+	return out, nil
 }

@@ -30,6 +30,16 @@ type Hooks struct {
 	// budget or inference cap is spent (not when the proposal space runs
 	// dry).
 	BudgetExhausted func(cti ski.CTI, led *Ledger)
+	// ExecRetried fires from the in-order fold when a candidate's
+	// execution needed retries before succeeding or being given up on.
+	ExecRetried func(c Candidate, retries int)
+	// CandidateSkipped fires when the resilience policy gives up on a
+	// candidate (skip-and-log degradation) instead of aborting the run;
+	// err is the build failure, last execution failure, or quarantine.
+	CandidateSkipped func(c Candidate, err error)
+	// CTIQuarantined fires when a CTI crosses the repeat-offender
+	// threshold and its remaining candidates will be skipped.
+	CTIQuarantined func(cti ski.CTI)
 }
 
 // The emit helpers are nil-safe on both the receiver and the field, so
@@ -64,5 +74,29 @@ func (h *Hooks) ScheduleExecutedHook(c Candidate, res *ski.Result) {
 func (h *Hooks) budgetExhausted(cti ski.CTI, led *Ledger) {
 	if h != nil && h.BudgetExhausted != nil {
 		h.BudgetExhausted(cti, led)
+	}
+}
+
+// ExecRetriedHook fires the retry hook from in-order folds, including ones
+// outside this package (campaign, razzer, snowboard).
+func (h *Hooks) ExecRetriedHook(c Candidate, retries int) {
+	if h != nil && h.ExecRetried != nil {
+		h.ExecRetried(c, retries)
+	}
+}
+
+// CandidateSkippedHook fires the skip hook from in-order folds, including
+// ones outside this package.
+func (h *Hooks) CandidateSkippedHook(c Candidate, err error) {
+	if h != nil && h.CandidateSkipped != nil {
+		h.CandidateSkipped(c, err)
+	}
+}
+
+// CTIQuarantinedHook fires the quarantine hook from in-order folds,
+// including ones outside this package.
+func (h *Hooks) CTIQuarantinedHook(cti ski.CTI) {
+	if h != nil && h.CTIQuarantined != nil {
+		h.CTIQuarantined(cti)
 	}
 }

@@ -18,6 +18,9 @@ var (
 	// ErrExec reports a dynamic execution failure inside the Execute
 	// stage; the underlying ski error is wrapped alongside it.
 	ErrExec = errors.New("explore: dynamic execution failed")
+	// ErrBuild reports a GraphBuild stage failure (a panicking builder)
+	// that resilience degraded to a skipped candidate.
+	ErrBuild = errors.New("explore: graph build failed")
 )
 
 // CostModel converts exploration events into simulated wall-clock seconds
@@ -66,6 +69,13 @@ type Ledger struct {
 	inferences int
 	execs      int
 	seconds    float64
+
+	// Resilience counters (package faults): retried executions, candidates
+	// skipped after exhausting retries, and CTIs quarantined as repeat
+	// offenders. All zero when the fault/resilience layer is disabled.
+	retries     int
+	skipped     int
+	quarantined int
 }
 
 // NewLedger opens an empty ledger charging with the given cost model. A
@@ -93,6 +103,29 @@ func (l *Ledger) Charge(execs, inferences int) {
 // ChargeStartup charges the cost model's one-time start-up hours.
 func (l *Ledger) ChargeStartup() { l.seconds += l.cost.StartupHours * 3600 }
 
+// ChargeSeconds advances the simulated clock by s seconds without touching
+// the event counters — retry backoff and fault penalties charge simulated
+// time that no execution or inference accounts for.
+func (l *Ledger) ChargeSeconds(s float64) { l.seconds += s }
+
+// RecordRetries records n retried executions.
+func (l *Ledger) RecordRetries(n int) { l.retries += n }
+
+// RecordSkips records n candidates skipped by the resilience policy.
+func (l *Ledger) RecordSkips(n int) { l.skipped += n }
+
+// RecordQuarantines records n CTIs quarantined as repeat offenders.
+func (l *Ledger) RecordQuarantines(n int) { l.quarantined += n }
+
+// Retries returns the cumulative retried executions.
+func (l *Ledger) Retries() int { return l.retries }
+
+// Skipped returns the cumulative candidates skipped by resilience.
+func (l *Ledger) Skipped() int { return l.skipped }
+
+// Quarantined returns the cumulative CTIs quarantined.
+func (l *Ledger) Quarantined() int { return l.quarantined }
+
 // Proposed returns the cumulative candidate proposals.
 func (l *Ledger) Proposed() int { return l.proposed }
 
@@ -107,3 +140,28 @@ func (l *Ledger) Seconds() float64 { return l.seconds }
 
 // Hours returns the simulated clock in hours.
 func (l *Ledger) Hours() float64 { return l.seconds / 3600 }
+
+// Snapshot is a comparable copy of every ledger counter, for equality
+// assertions across worker counts and fault configurations.
+type Snapshot struct {
+	Proposed    int
+	Inferences  int
+	Execs       int
+	Retries     int
+	Skipped     int
+	Quarantined int
+	Seconds     float64
+}
+
+// Snapshot returns the ledger's current counters.
+func (l *Ledger) Snapshot() Snapshot {
+	return Snapshot{
+		Proposed:    l.proposed,
+		Inferences:  l.inferences,
+		Execs:       l.execs,
+		Retries:     l.retries,
+		Skipped:     l.skipped,
+		Quarantined: l.quarantined,
+		Seconds:     l.seconds,
+	}
+}

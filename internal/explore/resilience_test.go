@@ -1,0 +1,213 @@
+package explore
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/faults"
+	"snowcat/internal/ski"
+)
+
+// newResilience builds a layer for tests, failing the test on a bad policy.
+func newResilience(t *testing.T, inj *faults.Injector, p faults.Policy) *Resilience {
+	t.Helper()
+	r, err := NewResilience(inj, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewResilienceRejectsBadPolicy(t *testing.T) {
+	if _, err := NewResilience(nil, faults.Policy{MaxRetries: -1}); !errors.Is(err, faults.ErrBadPolicy) {
+		t.Fatalf("err = %v, want ErrBadPolicy", err)
+	}
+}
+
+// TestExecutePlanZeroRateMatchesLegacy pins the faults-disabled contract:
+// a resilience layer whose injector never fires yields exactly the results
+// the nil-resilience (legacy) stage produces, and the new counters stay 0.
+func TestExecutePlanZeroRateMatchesLegacy(t *testing.T) {
+	f := newWalkFixture(t, 5)
+	sampler := ski.NewSampler(f.pa, f.pb, 9)
+	var scheds []ski.Schedule
+	for i := 0; i < 8; i++ {
+		scheds = append(scheds, sampler.Next())
+	}
+	legacyLed := NewLedger(PaperCosts())
+	legacy, err := ExecutePlan(f.k, f.cti, scheds, 1, legacyLed, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		led := NewLedger(PaperCosts())
+		res := newResilience(t, nil, faults.DefaultPolicy())
+		got, err := ExecutePlan(f.k, f.cti, scheds, workers, led, nil, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, legacy) {
+			t.Fatalf("workers=%d: resilient zero-fault results diverge from legacy", workers)
+		}
+		if *led != *legacyLed {
+			t.Fatalf("workers=%d: ledger %+v, legacy %+v", workers, led.Snapshot(), legacyLed.Snapshot())
+		}
+		if led.Retries() != 0 || led.Skipped() != 0 || led.Quarantined() != 0 {
+			t.Fatalf("workers=%d: zero-fault run recorded chaos counters %+v", workers, led.Snapshot())
+		}
+	}
+}
+
+// TestExecutePlanChaosDeterministic pins the enabled contract: with a
+// fixed fault seed the results, the ledger (clock included), and the hook
+// firing sequence are bit-identical at 1 and 4 workers.
+func TestExecutePlanChaosDeterministic(t *testing.T) {
+	f := newWalkFixture(t, 6)
+	sampler := ski.NewSampler(f.pa, f.pb, 11)
+	var scheds []ski.Schedule
+	for i := 0; i < 12; i++ {
+		scheds = append(scheds, sampler.Next())
+	}
+	type outcome struct {
+		results []*ski.Result
+		snap    Snapshot
+		events  []string
+	}
+	run := func(workers int) outcome {
+		led := NewLedger(PaperCosts())
+		res := newResilience(t, faults.New(21, 0.6), faults.DefaultPolicy())
+		var events []string
+		hooks := &Hooks{
+			ExecRetried: func(c Candidate, retries int) {
+				events = append(events, "retry", c.Sched.Key())
+			},
+			CandidateSkipped: func(c Candidate, err error) {
+				events = append(events, "skip", c.Sched.Key())
+			},
+			CTIQuarantined: func(cti ski.CTI) { events = append(events, "quarantine") },
+		}
+		results, err := ExecutePlan(f.k, f.cti, scheds, workers, led, hooks, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{results: results, snap: led.Snapshot(), events: events}
+	}
+	canon := run(1)
+	if canon.snap.Retries == 0 && canon.snap.Skipped == 0 {
+		t.Fatal("chaos run injected nothing; raise the rate or schedule count")
+	}
+	if got := run(4); !reflect.DeepEqual(got, canon) {
+		t.Fatalf("workers=4 diverges:\n%+v\nvs canonical\n%+v", got.snap, canon.snap)
+	}
+}
+
+// TestExecutePlanQuarantine drives one CTI past the quarantine threshold
+// with an always-failing injector and checks the skip/quarantine
+// bookkeeping.
+func TestExecutePlanQuarantine(t *testing.T) {
+	f := newWalkFixture(t, 7)
+	sampler := ski.NewSampler(f.pa, f.pb, 13)
+	var scheds []ski.Schedule
+	for i := 0; i < 6; i++ {
+		scheds = append(scheds, sampler.Next())
+	}
+	// Rate 1 with only retry-exhausting kinds is not guaranteed, so force
+	// failure through a nil injector and an impossible step budget: every
+	// real execution dies on sim.ErrStepLimit.
+	p := faults.Policy{MaxRetries: 1, QuarantineAfter: 3, StepBudget: 1}
+	res := newResilience(t, nil, p)
+	led := NewLedger(CostModel{})
+	quarantined := 0
+	hooks := &Hooks{CTIQuarantined: func(cti ski.CTI) { quarantined++ }}
+	results, err := ExecutePlan(f.k, f.cti, scheds, 2, led, hooks, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("result %d survived a 1-step budget", i)
+		}
+	}
+	if quarantined != 1 || led.Quarantined() != 1 {
+		t.Fatalf("quarantine fired %d times (ledger %d), want 1", quarantined, led.Quarantined())
+	}
+	if !res.Quarantined(f.cti.ID) {
+		t.Fatal("CTI not on the quarantine list")
+	}
+	// 3 candidates fail-and-count, the rest skip uncharged as quarantined.
+	if led.Skipped() != 6 || led.Execs() != 3*2 {
+		t.Fatalf("skipped=%d execs=%d, want 6 and 6", led.Skipped(), led.Execs())
+	}
+}
+
+// TestWalkDegradesBuildPanic pins the build-stage half of the resilience
+// layer: a panicking Build skips the candidate under resilience and keeps
+// the walk's selection identical at any batch/worker shape, while the
+// legacy walk propagates the panic.
+func TestWalkDegradesBuildPanic(t *testing.T) {
+	f := newWalkFixture(t, 8)
+	build := func(c Candidate) *ctgraph.Graph {
+		if c.Seq == 2 {
+			panic("corrupted candidate")
+		}
+		return f.builder.Build(c.CTI, f.pa, f.pb, c.Sched)
+	}
+	mk := func(batch, workers int, res *Resilience, led *Ledger) *Walk {
+		return &Walk{
+			Source: SampleUnique(f.cti, ski.NewSampler(f.pa, f.pb, 17), 50),
+			Build:  build,
+			Budget: Budget{ExecBudget: 5},
+			Batch:  batch, Workers: workers,
+			Ledger:     led,
+			Resilience: res,
+		}
+	}
+	canonLed := NewLedger(CostModel{})
+	canon := mk(1, 1, newResilience(t, nil, faults.DefaultPolicy()), canonLed).Run()
+	if len(canon) == 0 {
+		t.Fatal("walk selected nothing")
+	}
+	if canonLed.Skipped() != 1 {
+		t.Fatalf("skipped = %d, want 1", canonLed.Skipped())
+	}
+	for _, c := range canon {
+		if c.Seq == 2 {
+			t.Fatal("panicking candidate was selected")
+		}
+	}
+	for _, batch := range []int{1, 4, 32} {
+		for _, workers := range []int{1, 4} {
+			led := NewLedger(CostModel{})
+			got := mk(batch, workers, newResilience(t, nil, faults.DefaultPolicy()), led).Run()
+			if !reflect.DeepEqual(got, canon) || *led != *canonLed {
+				t.Fatalf("batch=%d workers=%d diverges from canonical", batch, workers)
+			}
+		}
+	}
+	// Legacy walks still fail fast on a build panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("legacy walk swallowed the build panic")
+		}
+	}()
+	mk(1, 1, nil, nil).Run()
+}
+
+func TestLedgerChaosCounters(t *testing.T) {
+	led := NewLedger(PaperCosts())
+	led.Charge(2, 1)
+	led.ChargeSeconds(3.5)
+	led.RecordRetries(2)
+	led.RecordSkips(1)
+	led.RecordQuarantines(1)
+	want := Snapshot{
+		Proposed: 0, Inferences: 1, Execs: 2,
+		Retries: 2, Skipped: 1, Quarantined: 1,
+		Seconds: float64(2)*2.8 + float64(1)*0.015 + 3.5,
+	}
+	if got := led.Snapshot(); got != want {
+		t.Fatalf("snapshot %+v, want %+v", got, want)
+	}
+}

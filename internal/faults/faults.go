@@ -1,0 +1,344 @@
+// Package faults injects deterministic, seedable failures into dynamic
+// schedule executions and implements the resilience policy around them.
+//
+// Snowcat's premise is that dynamic concurrent-test execution is the
+// scarce, unreliable resource (§2): real SKI executions run in VMs that
+// crash, hang, or return truncated coverage dumps. The simulator in this
+// repo never fails on its own, so chaos testing needs a fault model. An
+// Injector decides — as a pure hash of (injector seed, CTI, schedule key,
+// attempt) — whether a given execution attempt fails and how:
+//
+//	Transient — the execution dies before producing a result (VM crash);
+//	Hang      — the execution never finishes and is killed at the step
+//	            budget, charging HangSeconds of simulated wall clock;
+//	Corrupt   — the execution "succeeds" but its coverage result is
+//	            mangled the way a crashed VM's partial dump would be, and
+//	            is rejected by ValidateResult;
+//	Slow      — the execution succeeds but costs SlowSeconds extra.
+//
+// Because the decision is a pure function of the attempt's identity, not
+// of call order, a fault schedule is bit-identical at any worker count.
+// Run wraps an Exec func with the Policy's retry loop and reports what
+// happened; the explore package folds Reports into its Ledger and
+// quarantine bookkeeping at the pipeline's canonical sequential points.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+)
+
+// Kind classifies one injected fault.
+type Kind uint8
+
+const (
+	// None: the attempt proceeds normally.
+	None Kind = iota
+	// Transient: the execution fails before producing a result.
+	Transient
+	// Hang: the execution is killed at the step budget after HangSeconds.
+	Hang
+	// Corrupt: the execution returns a mangled result.
+	Corrupt
+	// Slow: the execution succeeds but costs SlowSeconds extra.
+	Slow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Hang:
+		return "hang"
+	case Corrupt:
+		return "corrupt"
+	case Slow:
+		return "slow"
+	}
+	return "invalid"
+}
+
+// Sentinel errors for callers to errors.Is against.
+var (
+	// ErrInjected reports an injected transient execution failure.
+	ErrInjected = errors.New("faults: injected transient failure")
+	// ErrHang reports an injected hang, killed at the step budget. It
+	// wraps sim.ErrStepLimit so hang handling and genuine step-limit
+	// handling share one errors.Is path.
+	ErrHang = errors.New("faults: injected hang")
+	// ErrCorrupt reports a result that failed ValidateResult.
+	ErrCorrupt = errors.New("faults: corrupted result")
+	// ErrPanic reports an execution that panicked; Run recovers it so one
+	// corrupt input cannot bring down a worker pool.
+	ErrPanic = errors.New("faults: execution panicked")
+	// ErrQuarantined reports a candidate skipped because its CTI is on
+	// the quarantine list.
+	ErrQuarantined = errors.New("faults: CTI quarantined")
+	// ErrBadPolicy reports a Policy with negative or NaN components.
+	ErrBadPolicy = errors.New("faults: invalid policy")
+)
+
+// Injector decides deterministically which execution attempts fail. A nil
+// Injector (or rate 0) injects nothing.
+type Injector struct {
+	seed uint64
+	rate float64
+}
+
+// New creates an injector firing with probability rate (clamped to [0,1])
+// per execution attempt, derived from seed.
+func New(seed uint64, rate float64) *Injector {
+	if math.IsNaN(rate) || rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &Injector{seed: seed, rate: rate}
+}
+
+// Enabled reports whether the injector can fire at all; nil-safe.
+func (i *Injector) Enabled() bool { return i != nil && i.rate > 0 }
+
+// Rate returns the per-attempt fault probability; nil-safe.
+func (i *Injector) Rate() float64 {
+	if i == nil {
+		return 0
+	}
+	return i.rate
+}
+
+// mix is the SplitMix64 finalizer (same mixer as package xrand).
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Decide returns the fault injected into the given execution attempt, or
+// None. It is a pure function of (seed, ctiID, schedKey, attempt) — never
+// of call order — so fault schedules are identical at any worker count.
+func (i *Injector) Decide(ctiID int64, schedKey string, attempt int) Kind {
+	if !i.Enabled() {
+		return None
+	}
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for j := 0; j < len(schedKey); j++ {
+		h ^= uint64(schedKey[j])
+		h *= 1099511628211
+	}
+	h ^= uint64(ctiID) * 0x9e3779b97f4a7c15
+	h ^= uint64(attempt)*0xd1b54a32d192ed03 + i.seed
+	fire := mix(h)
+	if float64(fire>>11)/(1<<53) >= i.rate {
+		return None
+	}
+	// Fault mix: transient crashes dominate, the rest split evenly.
+	switch mix(h^0x2545f4914f6cdd1d) % 10 {
+	case 0, 1, 2, 3:
+		return Transient
+	case 4, 5:
+		return Hang
+	case 6, 7:
+		return Corrupt
+	default:
+		return Slow
+	}
+}
+
+// Policy is the resilience policy around faulty executions: how often to
+// retry, what retries and faults cost on the simulated clock, and when a
+// repeat offender is quarantined.
+type Policy struct {
+	// MaxRetries is how many times a failed execution is retried before
+	// the candidate is skipped (0 = fail on the first error).
+	MaxRetries int
+	// BackoffSeconds is the simulated backoff before the first retry;
+	// it doubles per retry up to BackoffCapSeconds.
+	BackoffSeconds    float64
+	BackoffCapSeconds float64
+	// QuarantineAfter quarantines a CTI after this many of its candidates
+	// were given up on (0 disables quarantine).
+	QuarantineAfter int
+	// StepBudget bounds each real execution's instruction count;
+	// <= 0 keeps the global sim.MaxSteps bound.
+	StepBudget int
+	// HangSeconds is the simulated wall clock burned detecting a hang.
+	HangSeconds float64
+	// SlowSeconds is the extra simulated cost of a Slow-fault execution.
+	SlowSeconds float64
+}
+
+// DefaultPolicy returns the policy used by the CLI chaos flags: two
+// retries with 0.5 s → 4 s capped backoff, quarantine after three
+// given-up candidates, a 10 s hang timeout and 1.4 s slow-exec penalty
+// (half the paper's 2.8 s per execution).
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxRetries:        2,
+		BackoffSeconds:    0.5,
+		BackoffCapSeconds: 4,
+		QuarantineAfter:   3,
+		HangSeconds:       10,
+		SlowSeconds:       1.4,
+	}
+}
+
+// Validate rejects policies whose components are negative or NaN; both
+// would corrupt the monotonic simulated clock.
+func (p Policy) Validate() error {
+	ok := func(f float64) bool { return f >= 0 && !math.IsNaN(f) }
+	if p.MaxRetries < 0 || p.QuarantineAfter < 0 ||
+		!ok(p.BackoffSeconds) || !ok(p.BackoffCapSeconds) ||
+		!ok(p.HangSeconds) || !ok(p.SlowSeconds) {
+		return fmt.Errorf("%w: %+v (all components must be non-negative)", ErrBadPolicy, p)
+	}
+	return nil
+}
+
+// Backoff returns the simulated backoff charged before retrying after
+// failed attempt number attempt (0-based): BackoffSeconds doubled per
+// prior retry, capped at BackoffCapSeconds.
+func (p Policy) Backoff(attempt int) float64 {
+	b := p.BackoffSeconds
+	if b <= 0 {
+		return 0
+	}
+	for i := 0; i < attempt; i++ {
+		if p.BackoffCapSeconds > 0 && b >= p.BackoffCapSeconds {
+			break
+		}
+		b *= 2
+	}
+	if p.BackoffCapSeconds > 0 && b > p.BackoffCapSeconds {
+		b = p.BackoffCapSeconds
+	}
+	return b
+}
+
+// Exec is the execution function Run wraps — ski.Execute or a step-budgeted
+// variant, closed over kernel and machine configuration.
+type Exec func(cti ski.CTI, sched ski.Schedule) (*ski.Result, error)
+
+// Report is what one candidate's execution attempt(s) amounted to. The
+// caller folds it into its ledger at a canonical sequential point.
+type Report struct {
+	// Res is the successful result, nil when every attempt failed.
+	Res *ski.Result
+	// Attempts is how many executions were performed (1 + retries).
+	Attempts int
+	// BackoffSeconds is the total simulated retry backoff.
+	BackoffSeconds float64
+	// PenaltySeconds is the total simulated hang/slow cost.
+	PenaltySeconds float64
+	// Err is the last failure, nil when the final attempt succeeded.
+	Err error
+}
+
+// Run executes one candidate under the injector and retry policy: each
+// attempt may be failed by the injector or by exec itself (errors and
+// panics alike), and failures are retried up to p.MaxRetries times with
+// capped exponential backoff. Run mutates nothing shared, so it is safe to
+// call from pool workers; the decision sequence depends only on the
+// attempt identity.
+func Run(k *kernel.Kernel, inj *Injector, p Policy, exec Exec, cti ski.CTI, sched ski.Schedule) Report {
+	var rep Report
+	key := ""
+	if inj.Enabled() {
+		key = sched.Key()
+	}
+	for attempt := 0; ; attempt++ {
+		rep.Attempts++
+		res, penalty, err := runOnce(k, inj, p, exec, cti, sched, key, attempt)
+		rep.PenaltySeconds += penalty
+		if err == nil {
+			rep.Res, rep.Err = res, nil
+			return rep
+		}
+		rep.Err = err
+		if attempt >= p.MaxRetries {
+			return rep
+		}
+		rep.BackoffSeconds += p.Backoff(attempt)
+	}
+}
+
+// runOnce performs one attempt: the injector may fail it outright
+// (Transient, Hang), or let the execution run and then mangle (Corrupt) or
+// tax (Slow) its result. Every returned result passed ValidateResult.
+func runOnce(k *kernel.Kernel, inj *Injector, p Policy, exec Exec,
+	cti ski.CTI, sched ski.Schedule, key string, attempt int) (*ski.Result, float64, error) {
+
+	kind := inj.Decide(cti.ID, key, attempt)
+	switch kind {
+	case Transient:
+		return nil, 0, fmt.Errorf("%w (cti %d, attempt %d)", ErrInjected, cti.ID, attempt)
+	case Hang:
+		return nil, p.HangSeconds,
+			fmt.Errorf("%w (cti %d, attempt %d): %w", ErrHang, cti.ID, attempt, sim.ErrStepLimit)
+	}
+	res, err := safeExec(exec, cti, sched)
+	if err != nil {
+		return nil, 0, err
+	}
+	var penalty float64
+	switch kind {
+	case Corrupt:
+		res = CorruptResult(res)
+	case Slow:
+		penalty = p.SlowSeconds
+	}
+	if verr := ValidateResult(k, res); verr != nil {
+		return nil, penalty, fmt.Errorf("%w (cti %d, attempt %d)", verr, cti.ID, attempt)
+	}
+	return res, penalty, nil
+}
+
+// safeExec runs exec, converting a panic into an ErrPanic-wrapped error.
+func safeExec(exec Exec, cti ski.CTI, sched ski.Schedule) (res *ski.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	return exec(cti, sched)
+}
+
+// CorruptResult returns a deterministically mangled shallow copy of res,
+// shaped like a crashed VM's partial coverage dump: the coverage bitmap is
+// truncated and the step count is garbage.
+func CorruptResult(res *ski.Result) *ski.Result {
+	c := *res
+	if n := len(c.Covered); n > 0 {
+		c.Covered = c.Covered[:n-1]
+	}
+	c.Steps = -1
+	return &c
+}
+
+// ValidateResult checks a result's structural invariants against the
+// kernel it claims to come from — the integrity check a harness would run
+// on a coverage dump. It returns an ErrCorrupt-wrapped error on mismatch.
+func ValidateResult(k *kernel.Kernel, res *ski.Result) error {
+	switch {
+	case res == nil:
+		return fmt.Errorf("%w: nil result", ErrCorrupt)
+	case len(res.Covered) != k.NumBlocks():
+		return fmt.Errorf("%w: coverage bitmap has %d blocks, kernel has %d",
+			ErrCorrupt, len(res.Covered), k.NumBlocks())
+	case len(res.CoveredBy[0]) != k.NumBlocks() || len(res.CoveredBy[1]) != k.NumBlocks():
+		return fmt.Errorf("%w: per-thread coverage bitmap truncated", ErrCorrupt)
+	case res.Steps < 0 || res.Steps > sim.MaxSteps:
+		return fmt.Errorf("%w: step count %d outside [0, %d]", ErrCorrupt, res.Steps, sim.MaxSteps)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// fixture is a real kernel + CTI so success paths produce results that
+// pass ValidateResult.
+type fixture struct {
+	k     *kernel.Kernel
+	cti   ski.CTI
+	sched ski.Schedule
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(1))
+	gen := syz.NewGenerator(k, 2)
+	a, b := gen.Generate(), gen.Generate()
+	pa, err := syz.Run(k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		k:     k,
+		cti:   ski.CTI{ID: 7, A: a, B: b},
+		sched: ski.NewSampler(pa, pb, 3).Next(),
+	}
+}
+
+func (f *fixture) exec() Exec {
+	return func(cti ski.CTI, sched ski.Schedule) (*ski.Result, error) {
+		return ski.Execute(f.k, cti, sched)
+	}
+}
+
+func TestInjectorClamps(t *testing.T) {
+	for _, r := range []float64{0, -1, math.NaN()} {
+		if New(1, r).Enabled() {
+			t.Fatalf("rate %v: injector enabled", r)
+		}
+	}
+	if got := New(1, 2.5).Rate(); got != 1 {
+		t.Fatalf("rate clamp: %v", got)
+	}
+	var nilInj *Injector
+	if nilInj.Enabled() || nilInj.Rate() != 0 || nilInj.Decide(1, "x", 0) != None {
+		t.Fatal("nil injector must be inert")
+	}
+}
+
+func TestDecideIsPureAndSeedSensitive(t *testing.T) {
+	inj := New(42, 0.5)
+	// Pure: same identity, same decision, regardless of interleaved calls.
+	want := inj.Decide(3, "0@b1:2;", 1)
+	for i := 0; i < 5; i++ {
+		inj.Decide(int64(i), "noise", i)
+		if got := inj.Decide(3, "0@b1:2;", 1); got != want {
+			t.Fatalf("Decide not pure: %v then %v", want, got)
+		}
+	}
+	// Rate 1 always fires; rate 0 never does.
+	fire := New(42, 1)
+	calm := New(42, 0)
+	differs := false
+	for id := int64(0); id < 64; id++ {
+		if fire.Decide(id, "k", 0) == None {
+			t.Fatal("rate-1 injector returned None")
+		}
+		if calm.Decide(id, "k", 0) != None {
+			t.Fatal("rate-0 injector fired")
+		}
+		if New(42, 0.5).Decide(id, "k", 0) != New(43, 0.5).Decide(id, "k", 0) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("fault schedule identical across seeds")
+	}
+	// All four kinds occur under a firing injector.
+	seen := map[Kind]bool{}
+	for id := int64(0); id < 256; id++ {
+		seen[fire.Decide(id, "k", 0)] = true
+	}
+	for _, k := range []Kind{Transient, Hang, Corrupt, Slow} {
+		if !seen[k] {
+			t.Fatalf("kind %v never injected in 256 attempts", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, s := range map[Kind]string{
+		None: "none", Transient: "transient", Hang: "hang",
+		Corrupt: "corrupt", Slow: "slow", Kind(99): "invalid",
+	} {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatalf("default policy rejected: %v", err)
+	}
+	bad := []Policy{
+		{MaxRetries: -1},
+		{QuarantineAfter: -2},
+		{BackoffSeconds: -0.5},
+		{BackoffCapSeconds: math.NaN()},
+		{HangSeconds: -1},
+		{SlowSeconds: math.Inf(-1)},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadPolicy) {
+			t.Fatalf("policy %+v: err=%v, want ErrBadPolicy", p, err)
+		}
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := Policy{BackoffSeconds: 0.5, BackoffCapSeconds: 4}
+	want := []float64{0.5, 1, 2, 4, 4, 4}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := (Policy{}).Backoff(3); got != 0 {
+		t.Fatalf("zero policy backoff = %v", got)
+	}
+	// No cap: pure doubling.
+	if got := (Policy{BackoffSeconds: 1}).Backoff(3); got != 8 {
+		t.Fatalf("uncapped backoff = %v", got)
+	}
+}
+
+func TestRunRetriesUntilSuccess(t *testing.T) {
+	f := newFixture(t)
+	p := Policy{MaxRetries: 3, BackoffSeconds: 0.5, BackoffCapSeconds: 4}
+	calls := 0
+	exec := func(cti ski.CTI, sched ski.Schedule) (*ski.Result, error) {
+		calls++
+		if calls <= 2 {
+			return nil, errors.New("flaky harness")
+		}
+		return ski.Execute(f.k, cti, sched)
+	}
+	rep := Run(f.k, nil, p, exec, f.cti, f.sched)
+	if rep.Err != nil || rep.Res == nil {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Attempts != 3 || calls != 3 {
+		t.Fatalf("attempts %d, calls %d, want 3/3", rep.Attempts, calls)
+	}
+	if want := p.Backoff(0) + p.Backoff(1); rep.BackoffSeconds != want {
+		t.Fatalf("backoff %v, want %v", rep.BackoffSeconds, want)
+	}
+}
+
+func TestRunExhaustsRetries(t *testing.T) {
+	f := newFixture(t)
+	p := Policy{MaxRetries: 2}
+	boom := errors.New("dead VM")
+	rep := Run(f.k, nil, p, func(ski.CTI, ski.Schedule) (*ski.Result, error) {
+		return nil, boom
+	}, f.cti, f.sched)
+	if rep.Res != nil || !errors.Is(rep.Err, boom) {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Attempts != 3 {
+		t.Fatalf("attempts %d, want 3", rep.Attempts)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	f := newFixture(t)
+	rep := Run(f.k, nil, Policy{MaxRetries: 1}, func(ski.CTI, ski.Schedule) (*ski.Result, error) {
+		panic("executor bug")
+	}, f.cti, f.sched)
+	if !errors.Is(rep.Err, ErrPanic) || rep.Attempts != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestRunInjectedFaultsDeterministic(t *testing.T) {
+	f := newFixture(t)
+	inj := New(11, 0.8)
+	p := DefaultPolicy()
+	a := Run(f.k, inj, p, f.exec(), f.cti, f.sched)
+	b := Run(f.k, inj, p, f.exec(), f.cti, f.sched)
+	if a.Attempts != b.Attempts || a.BackoffSeconds != b.BackoffSeconds ||
+		a.PenaltySeconds != b.PenaltySeconds {
+		t.Fatalf("reports differ: %+v vs %+v", a, b)
+	}
+	if (a.Err == nil) != (b.Err == nil) || !reflect.DeepEqual(a.Res, b.Res) {
+		t.Fatalf("outcomes differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunHangWrapsStepLimit(t *testing.T) {
+	f := newFixture(t)
+	// Find an identity whose first (and only) attempt is an injected hang.
+	inj := New(5, 1)
+	cti := f.cti
+	for id := int64(0); ; id++ {
+		if inj.Decide(id, f.sched.Key(), 0) == Hang {
+			cti.ID = id
+			break
+		}
+	}
+	p := Policy{HangSeconds: 10}
+	rep := Run(f.k, inj, p, f.exec(), cti, f.sched)
+	if !errors.Is(rep.Err, ErrHang) || !errors.Is(rep.Err, sim.ErrStepLimit) {
+		t.Fatalf("hang error %v must wrap ErrHang and sim.ErrStepLimit", rep.Err)
+	}
+	if rep.PenaltySeconds != p.HangSeconds || rep.Res != nil {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestCorruptResultRejected(t *testing.T) {
+	f := newFixture(t)
+	res, err := ski.Execute(f.k, f.cti, f.sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateResult(f.k, res); err != nil {
+		t.Fatalf("genuine result rejected: %v", err)
+	}
+	if err := ValidateResult(f.k, CorruptResult(res)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt result accepted: %v", err)
+	}
+	if err := ValidateResult(f.k, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("nil result accepted: %v", err)
+	}
+	// The original result is untouched by the mangling (shallow copy).
+	if err := ValidateResult(f.k, res); err != nil {
+		t.Fatalf("CorruptResult mutated its input: %v", err)
+	}
+	trunc := *res
+	trunc.CoveredBy[0] = trunc.CoveredBy[0][:len(trunc.CoveredBy[0])-1]
+	if err := ValidateResult(f.k, &trunc); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated per-thread bitmap accepted: %v", err)
+	}
+}

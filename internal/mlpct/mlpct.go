@@ -75,6 +75,8 @@ type Outcome struct {
 	Proposed   int            // schedules proposed by the sampler
 	Inferences int            // model inferences performed (MLPCT only)
 	BugsHit    []int32        // planted bugs triggered, deduplicated
+	Retries    int            // executions retried by the resilience layer
+	Skipped    int            // candidates the resilience layer gave up on
 }
 
 // addResult appends a result and folds in its bug hits.
@@ -133,6 +135,13 @@ type Explorer struct {
 	// in-order execution fold, so concurrent Plan calls must not share a
 	// hooked explorer.
 	Hooks *explore.Hooks
+	// Resilience, when non-nil, runs Execute through the fault-injection
+	// retry/quarantine layer and degrades build-stage panics during
+	// planning to skipped candidates. Nil keeps the legacy fail-fast
+	// pipeline bit-identically. Its quarantine maps are mutated only from
+	// Execute's sequential fold, so concurrent Plan calls may share it,
+	// but concurrent Execute calls must not.
+	Resilience *explore.Resilience
 }
 
 // NewExplorer creates an explorer with the given options.
@@ -174,7 +183,7 @@ func (e *Explorer) PlanPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64) *Plan 
 		Source: explore.SampleUnique(cti, ski.NewSampler(pa, pb, seed), 50),
 		Budget: explore.Budget{ExecBudget: e.Opts.ExecBudget},
 		Batch:  e.Opts.batch(), Workers: e.Opts.workers(),
-		Ledger: led, Hooks: e.Hooks,
+		Ledger: led, Hooks: e.Hooks, Resilience: e.Resilience,
 	}
 	return finishPlan(cti, w.Run(), led)
 }
@@ -217,24 +226,31 @@ func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 		},
 		Budget: explore.Budget{ExecBudget: e.Opts.ExecBudget, InferenceCap: e.Opts.InferenceCap},
 		Batch:  e.Opts.batch(), Workers: e.Opts.workers(),
-		Ledger: led, Hooks: e.Hooks,
+		Ledger: led, Hooks: e.Hooks, Resilience: e.Resilience,
 	}
 	return finishPlan(cti, w.Run(), led)
 }
 
 // Execute runs every planned schedule on Opts.Parallel workers and folds
 // the results into an Outcome in selection order, so the outcome is
-// identical for any worker count. A failed execution wraps ErrExec.
+// identical for any worker count. Without a Resilience layer a failed
+// execution wraps ErrExec; with one, failed candidates are skipped (and
+// counted) instead of aborting the outcome.
 func (e *Explorer) Execute(p *Plan) (*Outcome, error) {
 	led := explore.NewLedger(explore.CostModel{})
-	results, err := explore.ExecutePlan(e.K, p.CTI, p.Scheds, e.Opts.workers(), led, e.Hooks)
+	results, err := explore.ExecutePlan(e.K, p.CTI, p.Scheds, e.Opts.workers(), led, e.Hooks, e.Resilience)
 	if err != nil {
 		return nil, fmt.Errorf("mlpct: %w", err)
 	}
 	out := &Outcome{Proposed: p.Proposed, Inferences: p.Inferences}
 	for i, res := range results {
+		if res == nil {
+			continue // skipped by the resilience layer
+		}
 		out.addResult(res, p.Scheds[i])
 	}
+	out.Retries = led.Retries()
+	out.Skipped = led.Skipped()
 	return out, nil
 }
 

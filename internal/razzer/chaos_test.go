@@ -1,0 +1,99 @@
+package razzer
+
+import (
+	"reflect"
+	"testing"
+
+	"snowcat/internal/explore"
+	"snowcat/internal/faults"
+)
+
+func mustResilience(t *testing.T, inj *faults.Injector, p faults.Policy) *explore.Resilience {
+	t.Helper()
+	r, err := explore.NewResilience(inj, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPinnedReproduceZeroRateResilience extends the pinned suite: a
+// resilience layer whose injector never fires must leave Table-4 rows —
+// including the float hour arithmetic — bit-identical to the legacy
+// (nil-resilience) sweep.
+func TestPinnedReproduceZeroRateResilience(t *testing.T) {
+	_, f, targets := fixture(t, 23)
+	cfg := ReproConfig{SchedulesPerCTI: 120, Seed: 11, ExecSeconds: 2.8, Shuffles: 100}
+	for ti, tr := range targets[:2] {
+		ctis := SpreadCap(f.FindCTIs(tr, Relax, nil, 2), 8, uint64(ti))
+		want, err := f.Reproduce(tr, ctis, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			wcfg := cfg
+			wcfg.Parallel = workers
+			wcfg.Resilience = mustResilience(t, nil, faults.DefaultPolicy())
+			got, err := f.Reproduce(tr, ctis, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d %v: zero-fault resilient row diverged\ngot  %+v\nwant %+v",
+					workers, tr, got, want)
+			}
+		}
+	}
+}
+
+// TestReproduceChaosDeterministic pins the enabled contract: with a fixed
+// fault seed the whole ReproResult — TP counts, hour estimates, and the
+// retry/skip/quarantine counters — is identical at 1 and 4 workers.
+func TestReproduceChaosDeterministic(t *testing.T) {
+	_, f, targets := fixture(t, 23)
+	cfg := ReproConfig{SchedulesPerCTI: 120, Seed: 11, ExecSeconds: 2.8, Shuffles: 100}
+	sawFault := false
+	for ti, tr := range targets[:2] {
+		ctis := SpreadCap(f.FindCTIs(tr, Relax, nil, 2), 8, uint64(ti))
+		run := func(workers int) ReproResult {
+			wcfg := cfg
+			wcfg.Parallel = workers
+			wcfg.Resilience = mustResilience(t, faults.New(91, 0.4), faults.DefaultPolicy())
+			got, err := f.Reproduce(tr, ctis, wcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return got
+		}
+		canon := run(1)
+		if canon.Retries+canon.Skipped > 0 {
+			sawFault = true
+		}
+		if got := run(4); !reflect.DeepEqual(got, canon) {
+			t.Fatalf("%v: workers=4 chaos row diverged\ngot  %+v\nwant %+v", tr, got, canon)
+		}
+	}
+	if !sawFault {
+		t.Fatal("chaos sweep injected nothing; raise the rate")
+	}
+}
+
+// TestReproduceSurvivesFullFaultRate drives every execution attempt into a
+// fault: the sweep must finish without error, give up on candidates after
+// the quarantine threshold, and report the carnage in the counters.
+func TestReproduceSurvivesFullFaultRate(t *testing.T) {
+	_, f, targets := fixture(t, 23)
+	tr := targets[0]
+	ctis := SpreadCap(f.FindCTIs(tr, Relax, nil, 2), 6, 1)
+	cfg := ReproConfig{
+		SchedulesPerCTI: 50, Seed: 11, ExecSeconds: 2.8, Shuffles: 100, Parallel: 4,
+		Resilience: mustResilience(t, faults.New(7, 1), faults.DefaultPolicy()),
+	}
+	got, err := f.Reproduce(tr, ctis, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Skipped == 0 {
+		t.Fatalf("full fault rate skipped nothing: %+v", got)
+	}
+}

@@ -249,6 +249,12 @@ type ReproConfig struct {
 	// Parallel bounds the worker pool fanning candidate CTIs out; <= 0
 	// selects GOMAXPROCS. The result is identical for every worker count.
 	Parallel int
+	// Resilience, when non-nil, runs every schedule execution through the
+	// fault-injection retry layer: a schedule whose attempts all fail is
+	// skipped (it cannot witness the race), and a candidate accumulating
+	// Policy.QuarantineAfter skipped schedules is abandoned. Nil keeps the
+	// legacy fail-fast sweep bit-identically.
+	Resilience *explore.Resilience
 }
 
 // ReproResult is one row cell of Table 4.
@@ -256,10 +262,14 @@ type ReproResult struct {
 	Mode       Mode
 	CTIs       int // candidates selected
 	TPCTIs     int // candidates that actually reproduce the race
-	Execs      int // dynamic executions actually performed
+	Execs      int // dynamic executions actually performed (incl. retries)
 	AvgHours   float64
 	WorstHours float64
 	Reproduced bool
+	// Resilience counters; all zero when ReproConfig.Resilience is nil.
+	Retries     int // executions retried after injected/real failures
+	Skipped     int // schedules given up on after exhausting retries
+	Quarantined int // candidate CTIs abandoned as repeat offenders
 }
 
 func (r ReproResult) String() string {
@@ -296,8 +306,12 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 		seeds[i] = rng.Uint64()
 	}
 	type attempt struct {
-		tp    bool
-		execs int
+		tp      bool
+		execs   int
+		retries int
+		skipped int
+		extra   float64 // simulated backoff + fault penalty seconds
+		gaveUp  bool    // candidate abandoned after QuarantineAfter skips
 	}
 	atts, err := parallel.Map(cfg.Parallel, len(ctis), func(i int) (attempt, error) {
 		cti := ctis[i]
@@ -308,11 +322,31 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 		var att attempt
 		sampler := ski.NewSampler(pa, pb, seeds[i])
 		for s := 0; s < cfg.SchedulesPerCTI; s++ {
-			out, err := ski.Execute(f.K, cti, sampler.Next())
-			if err != nil {
-				return att, fmt.Errorf("%w: %w", explore.ErrExec, err)
+			var out *ski.Result
+			if cfg.Resilience != nil {
+				// Quarantine tallies locally (this worker owns the whole
+				// candidate); the sequential fold settles the counters.
+				rep := cfg.Resilience.Execute(f.K, cti, sampler.Next())
+				att.execs += rep.Attempts
+				att.retries += rep.Attempts - 1
+				att.extra += rep.BackoffSeconds + rep.PenaltySeconds
+				if rep.Err != nil {
+					att.skipped++
+					if q := cfg.Resilience.Policy.QuarantineAfter; q > 0 && att.skipped >= q {
+						att.gaveUp = true
+						break
+					}
+					continue
+				}
+				out = rep.Res
+			} else {
+				var err error
+				out, err = ski.Execute(f.K, cti, sampler.Next())
+				if err != nil {
+					return att, fmt.Errorf("%w: %w", explore.ErrExec, err)
+				}
+				att.execs++
 			}
-			att.execs++
 			for _, r := range race.Detect(out) {
 				if target.Matches(r) {
 					att.tp = true
@@ -329,14 +363,27 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 		return res, err
 	}
 	tp := make([]bool, len(ctis))
+	extra := 0.0
 	for i, att := range atts {
 		tp[i] = att.tp
 		if att.tp {
 			res.TPCTIs++
 		}
 		res.Execs += att.execs
+		res.Retries += att.retries
+		res.Skipped += att.skipped
+		extra += att.extra
+		if att.gaveUp {
+			res.Quarantined++
+		}
 	}
 	f.led.Charge(res.Execs, 0)
+	if extra != 0 {
+		f.led.ChargeSeconds(extra)
+	}
+	f.led.RecordRetries(res.Retries)
+	f.led.RecordSkips(res.Skipped)
+	f.led.RecordQuarantines(res.Quarantined)
 	if res.TPCTIs == 0 {
 		return res, nil
 	}

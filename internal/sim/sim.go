@@ -92,6 +92,10 @@ type Machine struct {
 	lockOwner []int32 // thread ID or -1
 	lockDepth []int32 // re-entrancy depth
 	Steps     int     // total instructions executed across all threads
+	// Limit is an optional per-execution step budget; <= 0 (or anything
+	// past MaxSteps) keeps the global MaxSteps bound. Resilience policies
+	// use it to kill runaway executions early.
+	Limit int
 }
 
 // NewMachine prepares a machine with freshly initialised memory.
@@ -111,6 +115,14 @@ func NewMachine(k *kernel.Kernel) *Machine {
 
 // LockOwner returns the thread holding lock id, or -1.
 func (m *Machine) LockOwner(id int32) int32 { return m.lockOwner[id] }
+
+// stepLimit returns the machine's effective step budget.
+func (m *Machine) stepLimit() int {
+	if m.Limit > 0 && m.Limit < MaxSteps {
+		return m.Limit
+	}
+	return MaxSteps
+}
 
 // frame is one call-stack entry.
 type frame struct {
@@ -133,6 +145,7 @@ type Thread struct {
 	state   ThreadState
 	waiting int32  // lock blocked on, when state == BlockedOnLock
 	held    uint64 // bitmask of locks held
+	failure error  // pending ErrBadCall, surfaced by the next Step
 }
 
 // NewThread creates a thread on machine m that will execute sti.
@@ -160,7 +173,9 @@ func (t *Thread) Held() uint64 { return t.held }
 
 // startNextSyscall loads the next syscall of the STI, placing its arguments
 // in r0..r(n-1) per the kernel ABI. Remaining registers keep their values,
-// modelling uninitialised kernel state.
+// modelling uninitialised kernel state. A call naming an unknown syscall or
+// function leaves the thread Runnable with a pending failure that the next
+// Step surfaces as an ErrBadCall-wrapped error.
 func (t *Thread) startNextSyscall() {
 	if t.nextSC >= len(t.sti) {
 		t.state = Done
@@ -168,7 +183,19 @@ func (t *Thread) startNextSyscall() {
 	}
 	call := t.sti[t.nextSC]
 	t.nextSC++
+	if call.Syscall < 0 || int(call.Syscall) >= len(t.m.K.Syscalls) {
+		t.failure = fmt.Errorf("%w: thread %d: syscall %d outside [0,%d)",
+			ErrBadCall, t.ID, call.Syscall, len(t.m.K.Syscalls))
+		t.state = Runnable
+		return
+	}
 	sc := t.m.K.Syscalls[call.Syscall]
+	if t.m.K.Func(sc.Fn) == nil {
+		t.failure = fmt.Errorf("%w: thread %d: syscall %d names unknown function f%d",
+			ErrBadCall, t.ID, call.Syscall, sc.Fn)
+		t.state = Runnable
+		return
+	}
 	for i := 0; i < sc.NumArgs && i < len(call.Args); i++ {
 		t.Regs[i] = call.Args[i]
 	}
@@ -187,9 +214,19 @@ func (t *Thread) PC() InstrRef {
 	return InstrRef{Block: fn.Blocks[f.blockIdx], Idx: f.instrIdx}
 }
 
-// ErrStepLimit is returned by Step when the machine's global step budget is
+// ErrStepLimit is returned by Step when the machine's step budget is
 // exhausted, guarding against pathological executions.
 var ErrStepLimit = fmt.Errorf("sim: machine step limit exceeded")
+
+// ErrBadJump is returned (wrapped) by Step when control flow names a block
+// outside the current function or falls off its end — unreachable for
+// validated kernels, reachable for corrupted or fuzzed inputs.
+var ErrBadJump = fmt.Errorf("sim: invalid jump target")
+
+// ErrBadCall is returned (wrapped) by Step when a syscall or call names an
+// unknown syscall number or function — likewise only reachable for
+// corrupted inputs, which must degrade to an error, not a worker panic.
+var ErrBadCall = fmt.Errorf("sim: invalid call target")
 
 // MaxSteps bounds the total instructions one machine may execute.
 const MaxSteps = 4 << 20
@@ -202,17 +239,30 @@ const MaxSteps = 4 << 20
 func (t *Thread) Step() (Event, error) {
 	var ev Event
 	ev.Thread = t.ID
+	if t.failure != nil {
+		return ev, t.failure
+	}
 	if t.State() != Runnable {
 		return ev, nil
 	}
-	if t.m.Steps >= MaxSteps {
+	if t.m.Steps >= t.m.stepLimit() {
 		return ev, ErrStepLimit
 	}
 
 	f := &t.stack[len(t.stack)-1]
 	fn := t.m.K.Func(f.fn)
+	if fn == nil {
+		return ev, fmt.Errorf("%w: thread %d executing unknown function f%d", ErrBadCall, t.ID, f.fn)
+	}
+	if f.blockIdx < 0 || int(f.blockIdx) >= len(fn.Blocks) {
+		return ev, fmt.Errorf("%w: thread %d fell off function f%d", ErrBadJump, t.ID, f.fn)
+	}
 	blockID := fn.Blocks[f.blockIdx]
 	b := t.m.K.Block(blockID)
+	if b == nil || f.instrIdx < 0 || int(f.instrIdx) >= len(b.Instrs) {
+		return ev, fmt.Errorf("%w: thread %d at invalid instruction b%d:%d",
+			ErrBadJump, t.ID, blockID, f.instrIdx)
+	}
 	in := &b.Instrs[f.instrIdx]
 
 	ev.Block = blockID
@@ -287,21 +337,35 @@ func (t *Thread) Step() (Event, error) {
 		ev.BugHit = true
 		ev.BugID = int32(in.Imm)
 	case kasm.OpJmp:
-		t.jumpTo(f, fn, in.Target)
+		if err := t.jumpTo(f, fn, in.Target); err != nil {
+			return ev, err
+		}
 		advance = false
 	case kasm.OpJeq:
-		t.branch(f, fn, in.Target, t.Flag == 0)
+		if err := t.branch(f, fn, in.Target, t.Flag == 0); err != nil {
+			return ev, err
+		}
 		advance = false
 	case kasm.OpJne:
-		t.branch(f, fn, in.Target, t.Flag != 0)
+		if err := t.branch(f, fn, in.Target, t.Flag != 0); err != nil {
+			return ev, err
+		}
 		advance = false
 	case kasm.OpJlt:
-		t.branch(f, fn, in.Target, t.Flag < 0)
+		if err := t.branch(f, fn, in.Target, t.Flag < 0); err != nil {
+			return ev, err
+		}
 		advance = false
 	case kasm.OpJge:
-		t.branch(f, fn, in.Target, t.Flag >= 0)
+		if err := t.branch(f, fn, in.Target, t.Flag >= 0); err != nil {
+			return ev, err
+		}
 		advance = false
 	case kasm.OpCall:
+		if t.m.K.Func(in.Callee) == nil {
+			return ev, fmt.Errorf("%w: thread %d calls unknown function f%d at %s",
+				ErrBadCall, t.ID, in.Callee, ev.Ref)
+		}
 		// Return continues at the next block of the caller.
 		f.blockIdx++
 		f.instrIdx = 0
@@ -327,7 +391,7 @@ func (t *Thread) Step() (Event, error) {
 			if int(f.blockIdx) >= len(fn.Blocks) {
 				// A block without terminator at the end of a function
 				// cannot be generated, but guard anyway.
-				return ev, fmt.Errorf("sim: thread %d fell off function f%d", t.ID, f.fn)
+				return ev, fmt.Errorf("%w: thread %d fell off function f%d", ErrBadJump, t.ID, f.fn)
 			}
 		}
 	}
@@ -336,26 +400,28 @@ func (t *Thread) Step() (Event, error) {
 
 // branch redirects control to target when taken; otherwise control falls
 // through to the next block.
-func (t *Thread) branch(f *frame, fn *kasm.Function, target int32, taken bool) {
+func (t *Thread) branch(f *frame, fn *kasm.Function, target int32, taken bool) error {
 	if taken {
-		t.jumpTo(f, fn, target)
-		return
+		return t.jumpTo(f, fn, target)
 	}
 	f.blockIdx++
 	f.instrIdx = 0
+	return nil
 }
 
-// jumpTo moves the frame to the start of the block with ID target.
-func (t *Thread) jumpTo(f *frame, fn *kasm.Function, target int32) {
+// jumpTo moves the frame to the start of the block with ID target. A target
+// outside the function — unreachable for validated kernels — is an
+// ErrBadJump-wrapped error, not a panic, so corrupted inputs degrade
+// instead of crashing pool workers.
+func (t *Thread) jumpTo(f *frame, fn *kasm.Function, target int32) error {
 	for i, bid := range fn.Blocks {
 		if bid == target {
 			f.blockIdx = int32(i)
 			f.instrIdx = 0
-			return
+			return nil
 		}
 	}
-	// Unreachable for validated kernels.
-	panic(fmt.Sprintf("sim: jump target b%d not in f%d", target, fn.ID))
+	return fmt.Errorf("%w: thread %d: target b%d not in f%d", ErrBadJump, t.ID, target, fn.ID)
 }
 
 // InjectIRQ pushes an interrupt handler function onto the thread's call

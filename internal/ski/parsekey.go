@@ -1,0 +1,94 @@
+package ski
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"snowcat/internal/sim"
+)
+
+// ErrBadKey reports a string that is not a Schedule.Key output.
+var ErrBadKey = errors.New("ski: malformed schedule key")
+
+// ParseKey parses a Schedule.Key string back into the schedule it
+// identifies: "T@bB:I;" per hint followed by "irqQ:T@bB:I;" per IRQ
+// injection, every segment ';'-terminated. It is the exact inverse of Key
+// on Key's output — ParseKey(s.Key()) reproduces s — and rejects anything
+// else with an ErrBadKey-wrapped error. Keys are pure identity (they are
+// never user input on a hot path), so the parser favours strictness over
+// speed: dedup maps stay sound only if distinct keys mean distinct
+// schedules and vice versa.
+func ParseKey(key string) (Schedule, error) {
+	var s Schedule
+	rest := key
+	sawIRQ := false
+	for len(rest) > 0 {
+		seg, tail, ok := strings.Cut(rest, ";")
+		if !ok {
+			return Schedule{}, fmt.Errorf("%w: unterminated segment %q", ErrBadKey, rest)
+		}
+		rest = tail
+		if strings.HasPrefix(seg, "irq") {
+			sawIRQ = true
+			irqStr, hintStr, ok := strings.Cut(seg[len("irq"):], ":")
+			if !ok {
+				return Schedule{}, fmt.Errorf("%w: IRQ segment %q lacks ':'", ErrBadKey, seg)
+			}
+			irq, err := parseI32(irqStr)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("%w: IRQ number in %q: %v", ErrBadKey, seg, err)
+			}
+			thread, ref, err := parseHint(hintStr)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("%w: %q: %v", ErrBadKey, seg, err)
+			}
+			s.IRQs = append(s.IRQs, IRQHint{Thread: thread, Ref: ref, IRQ: irq})
+			continue
+		}
+		if sawIRQ {
+			// Key always emits hints before injections.
+			return Schedule{}, fmt.Errorf("%w: hint segment %q after IRQ segment", ErrBadKey, seg)
+		}
+		thread, ref, err := parseHint(seg)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("%w: %q: %v", ErrBadKey, seg, err)
+		}
+		s.Hints = append(s.Hints, Hint{Thread: thread, Ref: ref})
+	}
+	return s, nil
+}
+
+// parseHint parses the "T@bB:I" hint body shared by both segment forms.
+func parseHint(seg string) (int32, sim.InstrRef, error) {
+	threadStr, refStr, ok := strings.Cut(seg, "@")
+	if !ok {
+		return 0, sim.InstrRef{}, fmt.Errorf("missing '@'")
+	}
+	thread, err := parseI32(threadStr)
+	if err != nil {
+		return 0, sim.InstrRef{}, fmt.Errorf("thread: %v", err)
+	}
+	if !strings.HasPrefix(refStr, "b") {
+		return 0, sim.InstrRef{}, fmt.Errorf("ref %q lacks 'b' prefix", refStr)
+	}
+	blockStr, idxStr, ok := strings.Cut(refStr[1:], ":")
+	if !ok {
+		return 0, sim.InstrRef{}, fmt.Errorf("ref %q lacks ':'", refStr)
+	}
+	block, err := parseI32(blockStr)
+	if err != nil {
+		return 0, sim.InstrRef{}, fmt.Errorf("block: %v", err)
+	}
+	idx, err := parseI32(idxStr)
+	if err != nil {
+		return 0, sim.InstrRef{}, fmt.Errorf("index: %v", err)
+	}
+	return thread, sim.InstrRef{Block: block, Idx: idx}, nil
+}
+
+func parseI32(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	return int32(v), err
+}

@@ -12,6 +12,7 @@
 package ski
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -21,6 +22,12 @@ import (
 	"snowcat/internal/syz"
 	"snowcat/internal/xrand"
 )
+
+// ErrBadSchedule reports a schedule that no executor run could honour —
+// a hint or injection naming a thread other than 0 or 1. Out-of-range
+// instruction refs and IRQ numbers are *not* errors: SKI's relaxed
+// semantics skip hints that never fire.
+var ErrBadSchedule = errors.New("ski: invalid schedule")
 
 // CTI is a concurrent test input: a pair of sequential test inputs that
 // will run on two kernel threads.
@@ -93,6 +100,23 @@ func (s Schedule) Key() string {
 	return b.String()
 }
 
+// Validate rejects schedules whose hints or injections name a thread the
+// two-thread executor does not have; everything else follows the relaxed
+// skip semantics and needs no validation.
+func (s Schedule) Validate() error {
+	for i, h := range s.Hints {
+		if h.Thread != 0 && h.Thread != 1 {
+			return fmt.Errorf("%w: hint %d names thread %d", ErrBadSchedule, i, h.Thread)
+		}
+	}
+	for i, q := range s.IRQs {
+		if q.Thread != 0 && q.Thread != 1 {
+			return fmt.Errorf("%w: IRQ injection %d names thread %d", ErrBadSchedule, i, q.Thread)
+		}
+	}
+	return nil
+}
+
 // Result is everything observed during one concurrent execution.
 type Result struct {
 	// Covered is the union block coverage of the concurrent execution.
@@ -142,7 +166,20 @@ func (r *Result) HitBug(id int32) bool {
 // regardless of hints; a hint naming a finished thread is dropped (SKI's
 // skip semantics).
 func Execute(k *kernel.Kernel, cti CTI, sched Schedule) (*Result, error) {
+	return ExecuteSteps(k, cti, sched, 0)
+}
+
+// ExecuteSteps is Execute with a per-execution step budget: stepLimit <= 0
+// (or anything past sim.MaxSteps) keeps the global sim.MaxSteps bound.
+// Resilience policies use the budget to kill runaway executions early. The
+// schedule is validated up front so a corrupted schedule degrades to an
+// ErrBadSchedule-wrapped error instead of an index panic on a pool worker.
+func ExecuteSteps(k *kernel.Kernel, cti CTI, sched Schedule, stepLimit int) (*Result, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("ski: executing %s: %w", cti, err)
+	}
 	m := sim.NewMachine(k)
+	m.Limit = stepLimit
 	threads := [2]*sim.Thread{
 		sim.NewThread(m, 0, cti.A.Calls),
 		sim.NewThread(m, 1, cti.B.Calls),
@@ -211,7 +248,7 @@ func Execute(k *kernel.Kernel, cti CTI, sched Schedule) (*Result, error) {
 		// on the first execution of its instruction.
 		for qi := 0; qi < len(irqs); {
 			q := irqs[qi]
-			if q.Thread == cur && q.Ref == ev.Ref && int(q.IRQ) < len(k.IRQs) {
+			if q.Thread == cur && q.Ref == ev.Ref && q.IRQ >= 0 && int(q.IRQ) < len(k.IRQs) {
 				t.InjectIRQ(k.IRQs[q.IRQ].Fn)
 				irqs = append(irqs[:qi], irqs[qi+1:]...)
 				continue

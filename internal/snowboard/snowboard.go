@@ -209,31 +209,78 @@ func (s *PIC) Sample(c *Cluster) []int {
 // exactly the switch structure that can realise the pair. Reports whether
 // the planted bug fired.
 func Explore(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedules int, seed uint64) (bool, int, error) {
-	led := explore.NewLedger(explore.CostModel{})
-	run := func(sched ski.Schedule) (bool, error) {
-		res, err := ski.Execute(k, m.CTI, sched)
-		if err != nil {
-			return false, fmt.Errorf("%w: %w", explore.ErrExec, err)
-		}
-		led.Charge(1, 0)
-		return res.HitBug(bugID), nil
+	return ExploreR(k, m, c, bugID, extraSchedules, seed, nil, nil, nil)
+}
+
+// ExploreR is Explore with the fault-injection resilience layer threaded
+// through. With res == nil (and any led/hooks) the execution sequence,
+// charges and return values are bit-identical to Explore. With a
+// resilience layer, each schedule runs through the fault injector and
+// retry loop: a schedule whose attempts all fail is skipped-and-logged
+// rather than aborting, and after Policy.QuarantineAfter skipped schedules
+// the member is abandoned (reported as not hitting the bug). led == nil
+// allocates a throwaway ledger; the returned exec count is the executions
+// this call performed, including retries.
+func ExploreR(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedules int, seed uint64,
+	res *explore.Resilience, led *explore.Ledger, hooks *explore.Hooks) (bool, int, error) {
+
+	if led == nil {
+		led = explore.NewLedger(explore.CostModel{})
 	}
-	hit, err := run(c.Hint())
-	if err != nil || hit {
-		return hit, led.Execs(), err
+	execs := 0
+	failures := 0
+	gaveUp := false
+	run := func(seq int, sched ski.Schedule) (bool, error) {
+		if res == nil {
+			out, err := ski.Execute(k, m.CTI, sched)
+			if err != nil {
+				return false, fmt.Errorf("%w: %w", explore.ErrExec, err)
+			}
+			led.Charge(1, 0)
+			execs++
+			return out.HitBug(bugID), nil
+		}
+		rep := res.Execute(k, m.CTI, sched)
+		cand := explore.Candidate{Seq: seq, CTI: m.CTI, Sched: sched}
+		if rep.Attempts > 1 {
+			led.RecordRetries(rep.Attempts - 1)
+			hooks.ExecRetriedHook(cand, rep.Attempts-1)
+		}
+		led.Charge(rep.Attempts, 0)
+		execs += rep.Attempts
+		if s := rep.BackoffSeconds + rep.PenaltySeconds; s != 0 {
+			led.ChargeSeconds(s)
+		}
+		if rep.Err != nil {
+			led.RecordSkips(1)
+			hooks.CandidateSkippedHook(cand, rep.Err)
+			failures++
+			if q := res.Policy.QuarantineAfter; q > 0 && failures >= q {
+				gaveUp = true
+				led.RecordQuarantines(1)
+				hooks.CTIQuarantinedHook(m.CTI)
+			}
+			return false, nil
+		}
+		hooks.ScheduleExecutedHook(cand, rep.Res)
+		return rep.Res.HitBug(bugID), nil
+	}
+	hit, err := run(0, c.Hint())
+	if err != nil || hit || gaveUp {
+		return hit, execs, err
 	}
 	if extraSchedules > 0 && len(m.ProfA.InstrTrace) == 0 {
-		return false, led.Execs(), fmt.Errorf("%w: CTI %d", ErrEmptyTrace, m.CTI.ID)
+		return false, execs, fmt.Errorf("%w: CTI %d", ErrEmptyTrace, m.CTI.ID)
 	}
 	rng := xrand.New(seed)
 	for i := 0; i < extraSchedules; i++ {
 		ref := m.ProfA.InstrTrace[rng.Intn(len(m.ProfA.InstrTrace))]
-		hit, err = run(ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: ref}}})
-		if err != nil || hit {
-			return hit, led.Execs(), err
+		hit, err = run(i+1, ski.Schedule{Hints: []ski.Hint{{Thread: 0, Ref: ref}}})
+		if err != nil || hit || gaveUp {
+			return hit, execs, err
 		}
 	}
-	return false, led.Execs(), nil
+	return false, execs, nil
 }
 
 // TrialResult summarises one sampling experiment over a buggy cluster.
