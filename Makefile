@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign
+.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,8 @@ test: lint
 		./internal/explore ./internal/mlpct ./internal/campaign ./internal/razzer ./internal/snowboard
 	$(GO) test -race -run 'ZeroRate|Chaos|TestCampaignSurvivesFullFaultRate|TestReproduceSurvivesFullFaultRate|TestExploreRNilResilienceMatchesExplore|TestExploreRQuarantineGivesUp|TestExecutePlanQuarantine|TestWalkDegradesBuildPanic' \
 		./internal/explore ./internal/campaign ./internal/razzer ./internal/snowboard
+	$(GO) test -race ./internal/serve
+	$(GO) test -race -run 'TestTokenCacheConcurrentReaders|TestBaseContextConcurrentPredict' ./internal/pic
 
 test-race:
 	$(GO) test -race ./...
@@ -38,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzScheduleKey$$' -fuzztime 10s ./internal/ski
 	$(GO) test -run '^$$' -fuzz '^FuzzExecute$$' -fuzztime 10s ./internal/ski
 	$(GO) test -run '^$$' -fuzz '^FuzzCTGraphBuild$$' -fuzztime 10s ./internal/ctgraph
+	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime 10s ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -76,3 +79,28 @@ bench-campaign:
 		END { print "\n]" }' bench_campaign.out > BENCH_campaign.json
 	rm -f bench_campaign.out
 	cat BENCH_campaign.json
+
+# Serving-layer benchmarks: end-to-end HTTP throughput and latency over
+# the batch-size x client-count grid, snapshotted to BENCH_serve.json.
+# One op is one graph. b.ReportMetric adds p50-us/p99-us columns, so the
+# fields are scanned pairwise instead of by position; the final entry
+# derives the coalescing speed-up (batch=8 vs batch=1 at 8 clients),
+# which the serving design targets at >= 2x.
+bench-serve:
+	$(GO) test -run xxx -bench 'BenchmarkServeHTTP' -benchtime 500x ./internal/serve | tee bench_serve.out
+	awk 'BEGIN { print "[" } \
+		/^BenchmarkServeHTTP/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $$2; \
+			for (i = 3; i < NF; i += 2) { \
+				unit = $$(i+1); gsub(/[\/-]/, "_", unit); \
+				printf ", \"%s\": %s", unit, $$i; \
+				val[name "|" unit] = $$i; \
+			} \
+			printf "}"; sep=",\n" } \
+		END { \
+			b1 = val["BenchmarkServeHTTP/batch=1/clients=8|ns_op"]; \
+			b8 = val["BenchmarkServeHTTP/batch=8/clients=8|ns_op"]; \
+			if (b1 > 0 && b8 > 0) printf "%s  {\"name\": \"coalescing-speedup-8clients\", \"batch8_vs_batch1\": %.2f}", sep, b1 / b8; \
+			print "\n]" }' bench_serve.out > BENCH_serve.json
+	rm -f bench_serve.out
+	cat BENCH_serve.json

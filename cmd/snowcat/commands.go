@@ -29,14 +29,34 @@ func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", runtime.NumCPU(), "worker count for parallel phases (results are identical at any count)")
 }
 
-// faultFlags registers the chaos-testing flags shared by the campaign,
-// razzer and snowboard commands: a deterministic fault injector plus the
-// retry/quarantine resilience policy it is paired with.
-func faultFlags(fs *flag.FlagSet) (rate *float64, fseed *uint64, retries *int) {
-	rate = fs.Float64("fault-rate", 0, "probability of injecting a fault per execution attempt (0 disables chaos testing)")
-	fseed = fs.Uint64("fault-seed", 1, "seed of the deterministic fault injector")
-	retries = fs.Int("retries", 0, "max retries per failed execution (0 keeps the policy default)")
-	return
+// exploreFlags bundles every flag the exploration subcommands (campaign,
+// razzer, snowboard) share beyond -seed: the worker pool plus the
+// chaos-testing fault/resilience knobs. One registration point keeps the
+// names, defaults, and help text identical everywhere; TestSharedFlagSets
+// pins that each of these subcommands accepts the whole set.
+type exploreFlags struct {
+	parallel *int
+	rate     *float64
+	fseed    *uint64
+	retries  *int
+}
+
+// newExploreFlags registers the shared exploration flag set.
+func newExploreFlags(fs *flag.FlagSet) *exploreFlags {
+	return &exploreFlags{
+		parallel: parallelFlag(fs),
+		rate:     fs.Float64("fault-rate", 0, "probability of injecting a fault per execution attempt (0 disables chaos testing)"),
+		fseed:    fs.Uint64("fault-seed", 1, "seed of the deterministic fault injector"),
+		retries:  fs.Int("retries", 0, "max retries per failed execution (0 keeps the policy default)"),
+	}
+}
+
+// resilience builds a fresh resilience layer from the parsed chaos flags.
+// The quarantine list is per-run state, so call once per campaign or
+// reproduction run; nil means chaos testing is off (legacy fail-fast
+// pipeline, bit-identical to builds without the faults package).
+func (e *exploreFlags) resilience() (*explore.Resilience, error) {
+	return resilienceFromFlags(*e.rate, *e.fseed, *e.retries)
 }
 
 // resilienceFromFlags builds the resilience layer the chaos flags describe,
@@ -277,8 +297,7 @@ func cmdCampaign(args []string) error {
 	budget := fs.Int("budget", 20, "dynamic executions per CTI")
 	progress := fs.Bool("progress", false, "print pipeline progress from the explore hooks")
 	every := fs.Int("progress-every", 100, "executions between -progress lines")
-	rate, fseed, retries := faultFlags(fs)
-	par := parallelFlag(fs)
+	ef := newExploreFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -313,27 +332,26 @@ func cmdCampaign(args []string) error {
 
 	r := campaign.NewRunner(k)
 	opts := campaignOptions(*budget)
-	// The quarantine list is per-run state, so each run gets a fresh
-	// resilience layer (nil when chaos testing is off).
-	resPCT, err := resilienceFromFlags(*rate, *fseed, *retries)
+	// Each run gets a fresh resilience layer (see exploreFlags.resilience).
+	resPCT, err := ef.resilience()
 	if err != nil {
 		return err
 	}
 	pct, err := r.Run(campaign.Config{
 		Name: "PCT", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
-		Cost: campaign.PaperCosts(), Parallel: *par, Hooks: hooks,
+		Cost: campaign.PaperCosts(), Parallel: *ef.parallel, Hooks: hooks,
 		Resilience: resPCT,
 	})
 	if err != nil {
 		return err
 	}
-	resML, err := resilienceFromFlags(*rate, *fseed, *retries)
+	resML, err := ef.resilience()
 	if err != nil {
 		return err
 	}
 	ml, err := r.Run(campaign.Config{
 		Name: "MLPCT-S1", Seed: *seed + 30, NumCTIs: *ctis, Opts: opts,
-		Cost: campaign.PaperCosts(), Parallel: *par, Hooks: hooks,
+		Cost: campaign.PaperCosts(), Parallel: *ef.parallel, Hooks: hooks,
 		Pred: predictor.NewPIC(m, tc, "PIC"), Strat: strategy.NewS1(),
 		Resilience: resML,
 	})
@@ -371,8 +389,7 @@ func cmdRazzer(args []string) error {
 	pool := fs.Int("pool", 40, "random STIs in the fuzzing pool")
 	schedules := fs.Int("schedules", 200, "random schedules per candidate CTI")
 	maxCTIs := fs.Int("maxctis", 20, "cap on candidates per mode")
-	rate, fseed, retries := faultFlags(fs)
-	par := parallelFlag(fs)
+	ef := newExploreFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -408,7 +425,7 @@ func cmdRazzer(args []string) error {
 	if pred != nil {
 		modes = append(modes, razzer.PICFiltered)
 	}
-	cfg := razzer.ReproConfig{SchedulesPerCTI: *schedules, Seed: *seed + 41, ExecSeconds: 2.8, Shuffles: 1000, Parallel: *par}
+	cfg := razzer.ReproConfig{SchedulesPerCTI: *schedules, Seed: *seed + 41, ExecSeconds: 2.8, Shuffles: 1000, Parallel: *ef.parallel}
 	for ti, tr := range targets {
 		fmt.Printf("race %c (%v):\n", rune('A'+ti), tr)
 		for _, mode := range modes {
@@ -418,7 +435,7 @@ func cmdRazzer(args []string) error {
 			}
 			// Fresh resilience layer per reproduction run: the per-candidate
 			// give-up tallies must not leak across modes.
-			cfg.Resilience, err = resilienceFromFlags(*rate, *fseed, *retries)
+			cfg.Resilience, err = ef.resilience()
 			if err != nil {
 				return err
 			}
@@ -445,8 +462,7 @@ func cmdSnowboard(args []string) error {
 	model := fs.String("model", "pic.gob", "model file for SB-PIC")
 	members := fs.Int("members", 20, "CTI candidates per bug cluster")
 	trials := fs.Int("trials", 500, "sampling trials per cluster")
-	rate, fseed, retries := faultFlags(fs)
-	par := parallelFlag(fs)
+	ef := newExploreFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -466,7 +482,7 @@ func cmdSnowboard(args []string) error {
 	// the sampled sets are identical at any count.
 	picSampler := func(strat strategy.Strategy) *snowboard.PIC {
 		s := snowboard.NewPIC(builder, pred, strat)
-		s.Batch, s.Parallel = 8, *par
+		s.Batch, s.Parallel = 8, *ef.parallel
 		return s
 	}
 	samplers := []snowboard.Sampler{
@@ -477,7 +493,7 @@ func cmdSnowboard(args []string) error {
 		picSampler(strategy.NewS2()),
 	}
 
-	res, err := resilienceFromFlags(*rate, *fseed, *retries)
+	res, err := ef.resilience()
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,75 @@
 package main
 
 import (
+	"errors"
+	"flag"
+	"os"
 	"testing"
 )
+
+// TestSharedFlagSets pins the deduplicated flag registration: every
+// subcommand accepts the shared flag groups it advertises (the worker
+// pool, the chaos-testing set, the serving set) with one name, default,
+// and help text. Each case parses the shared flags followed by -h, so the
+// whole set is validated by the flag package without running the
+// workload: anything before -h that the command doesn't register would
+// fail parsing before flag.ErrHelp is reached.
+func TestSharedFlagSets(t *testing.T) {
+	// -h prints each command's usage; silence it.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	saved := os.Stderr
+	os.Stderr = devnull
+	defer func() { os.Stderr = saved }()
+
+	parallel := []string{"-parallel", "2"}
+	chaos := []string{"-fault-rate", "0.1", "-fault-seed", "3", "-retries", "2"}
+	serving := []string{"-max-batch", "8", "-wait-ms", "1", "-queue", "16", "-deadline-ms", "100", "-cache", "8"}
+	cases := []struct {
+		name   string
+		cmd    func([]string) error
+		shared [][]string
+	}{
+		{"collect", cmdCollect, [][]string{parallel}},
+		{"train", cmdTrain, [][]string{parallel}},
+		{"eval", cmdEval, [][]string{parallel}},
+		{"campaign", cmdCampaign, [][]string{parallel, chaos}},
+		{"razzer", cmdRazzer, [][]string{parallel, chaos}},
+		{"snowboard", cmdSnowboard, [][]string{parallel, chaos}},
+		{"serve", cmdServe, [][]string{parallel, serving}},
+		{"loadgen", cmdLoadgen, [][]string{parallel, serving}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := []string{"-seed", "2"}
+			for _, s := range tc.shared {
+				args = append(args, s...)
+			}
+			args = append(args, "-h")
+			if err := tc.cmd(args); !errors.Is(err, flag.ErrHelp) {
+				t.Fatalf("%s rejected a shared flag: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestCmdServeLoadgen drives the serving CLI end to end: a timed serve
+// run, then an in-process loadgen burst that must finish with zero failed
+// requests.
+func TestCmdServeLoadgen(t *testing.T) {
+	if err := cmdServe([]string{"-seed", "3", "-addr", "127.0.0.1:0", "-duration", "100ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoadgen([]string{"-seed", "3", "-clients", "2", "-requests", "10", "-batch", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoadgen([]string{"-clients", "0"}); err == nil {
+		t.Fatal("non-positive -clients accepted")
+	}
+}
 
 // Table-driven smoke tests for the campaign/razzer/snowboard subcommands:
 // flag parsing (newFlagSet uses ContinueOnError, so bad flags come back as

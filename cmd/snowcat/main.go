@@ -11,6 +11,8 @@
 //	campaign   — run PCT vs MLPCT testing campaigns (§5.3.2)
 //	razzer     — reproduce planted races with the Razzer variants (§5.6.1)
 //	snowboard  — compare cluster exemplar samplers (§5.6.2)
+//	serve      — run the batching prediction server (see internal/serve)
+//	loadgen    — drive load at a prediction server and report latency
 //
 // Every subcommand is deterministic given its -seed flag.
 package main
@@ -41,6 +43,8 @@ func init() {
 		{"razzer", "reproduce planted races with Razzer variants", cmdRazzer},
 		{"snowboard", "compare cluster exemplar samplers", cmdSnowboard},
 		{"trace", "print an annotated interleaving timeline", cmdTrace},
+		{"serve", "run the batching prediction server (HTTP JSON API)", cmdServe},
+		{"loadgen", "drive load at a prediction server and report latency", cmdLoadgen},
 	}
 }
 

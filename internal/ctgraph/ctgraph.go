@@ -121,6 +121,13 @@ type Graph struct {
 // Graphs restored from gob report false (the link is not serialised).
 func (g *Graph) DerivedFrom(b *Base) bool { return b != nil && g.base == b }
 
+// BaseOf returns the skeleton the graph was derived from, or nil for
+// graphs built monolithically or restored from gob. Serving layers use the
+// pointer as a cache key for per-CTI inference contexts; it identifies the
+// Base exactly (DerivedFrom(g.BaseOf()) is true whenever BaseOf is
+// non-nil).
+func (g *Graph) BaseOf() *Base { return g.base }
+
 // VertexOf returns the vertex index of a block, or -1.
 func (g *Graph) VertexOf(block int32) int32 {
 	if i, ok := g.vidx[block]; ok {

@@ -72,6 +72,13 @@ func BaseVocab() *nn.Vocab {
 
 // TokenCache holds the tokenised assembly of every block of one kernel,
 // precomputed once per kernel version.
+//
+// A TokenCache is immutable after NewTokenCache returns: nothing in this
+// package writes IDs afterwards, so any number of goroutines may share one
+// cache across concurrent Predict/PredictInto/Train calls without
+// synchronisation. Callers that build a cache by hand must finish writing
+// IDs before publishing it (TestTokenCacheConcurrentReaders enforces the
+// read-only contract under the race detector).
 type TokenCache struct {
 	IDs [][]int
 }

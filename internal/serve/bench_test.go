@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+)
+
+// newBenchServer builds the serving benchmark rig: a single-layer Dim-6
+// model and 10-vertex graphs put per-graph inference in the ~10µs range,
+// the paper's inference-bound serving regime — the fixed per-request cost
+// (TCP, HTTP framing, JSON, queue hand-off) dominates, and is exactly what
+// request batching and the coalescer amortise. Real campaign graphs
+// (~170µs each on this fixture's kernel) would hide the serving layer
+// behind model cost.
+func newBenchServer(b *testing.B) *Server {
+	b.Helper()
+	k := kernel.Generate(kernel.SmallConfig(5001))
+	m := pic.New(pic.Config{Dim: 6, Layers: 1, Seed: 5002})
+	tc := pic.NewTokenCache(k, m.Vocab)
+	reg := NewRegistry()
+	if err := reg.Load("bench", m, tc); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Activate("bench"); err != nil {
+		b.Fatal(err)
+	}
+	s := New(reg, Config{MaxBatch: 64, MaxWait: 200 * time.Microsecond, Workers: 1, QueueDepth: 1024})
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// benchGraph synthesises a small valid wire graph over the bench kernel.
+func benchGraph(i, numBlocks int) WireGraph {
+	const nv = 10
+	w := WireGraph{HintFrac: []float64{0.25, 0.75}}
+	for v := 0; v < nv; v++ {
+		w.Vertices = append(w.Vertices, WireVertex{
+			Block: int32((i*nv + v*7) % numBlocks),
+			Type:  uint8(v % int(ctgraph.NumVertexTypes)),
+		})
+	}
+	for v := 1; v < nv; v++ {
+		w.Edges = append(w.Edges, WireEdge{From: int32(v - 1), To: int32(v), Type: uint8(v % int(ctgraph.NumEdgeTypes))})
+	}
+	w.Hints = []WireHint{
+		{Thread: 0, Block: w.Vertices[2].Block, Idx: 0},
+		{Thread: 1, Block: w.Vertices[5].Block, Idx: 1},
+	}
+	return w
+}
+
+// BenchmarkServeHTTP measures end-to-end served throughput over real HTTP
+// at batch sizes {1,8,32} (graphs per request) and client counts {1,8}.
+// One op is one graph, so ns/op across configurations compares directly;
+// p50-us/p99-us report per-request latency. `make bench-serve` captures
+// the grid in BENCH_serve.json and derives the coalescing speed-up
+// (batch=8 vs batch=1 at 8 clients).
+func BenchmarkServeHTTP(b *testing.B) {
+	s := newBenchServer(b)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	numBlocks := s.Registry().NumBlocks()
+
+	for _, batch := range []int{1, 8, 32} {
+		var req PredictRequest
+		for i := 0; i < batch; i++ {
+			req.Graphs = append(req.Graphs, benchGraph(i, numBlocks))
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, clients := range []int{1, 8} {
+			b.Run(fmt.Sprintf("batch=%d/clients=%d", batch, clients), func(b *testing.B) {
+				benchServe(b, ts, body, batch, clients)
+			})
+		}
+	}
+}
+
+// benchServe drives b.N graphs through the server split across `clients`
+// concurrent connections sending `batch` graphs per request.
+func benchServe(b *testing.B, ts *httptest.Server, body []byte, batch, clients int) {
+	requests := (b.N + batch - 1) / batch
+	perClient := (requests + clients - 1) / clients
+
+	lats := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			lats[c] = make([]time.Duration, 0, perClient)
+			for r := 0; r < perClient; r++ {
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Errorf("client %d: %v", c, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("client %d: status %d", c, resp.StatusCode)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if b.Failed() {
+		return
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	b.ReportMetric(float64(all[len(all)/2])/1e3, "p50-us")
+	b.ReportMetric(float64(all[len(all)*99/100])/1e3, "p99-us")
+}

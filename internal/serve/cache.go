@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/pic"
+)
+
+// cacheKey identifies one BaseContext: the snapshot whose encoder and
+// type-embedding weights the context bakes in, and the CTI skeleton it
+// covers. Both halves are pointer identities — a hot-swap changes the
+// snapshot pointer, so every context of the old model stops matching
+// without any explicit epoch counter, and Invalidate reclaims the entries.
+type cacheKey struct {
+	snap *Snapshot
+	base *ctgraph.Base
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key cacheKey
+	bc  *pic.BaseContext
+}
+
+// BaseCache is a bounded LRU of per-CTI pic.BaseContexts. A context
+// amortises the schedule-independent feature rows (encoder + vertex-type
+// embedding per vertex) across every candidate schedule of one CTI —
+// exactly the work the paper's 190:1 triage ratio depends on keeping off
+// the per-request path. Contexts are immutable and shared by all scoring
+// workers; the cache only guards the index. Misses build the context
+// under the lock, which also deduplicates concurrent misses for the same
+// key (the second caller hits).
+type BaseCache struct {
+	mu        sync.Mutex
+	capacity  int
+	lru       *list.List // of *cacheEntry, front = most recent
+	idx       map[cacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// NewBaseCache returns an empty cache holding at most capacity contexts
+// (capacity <= 0 selects 64).
+func NewBaseCache(capacity int) *BaseCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &BaseCache{
+		capacity: capacity,
+		lru:      list.New(),
+		idx:      make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the BaseContext of (snap, base), building and inserting it
+// on a miss. base must be non-nil; callers with base-less graphs (e.g.
+// restored from gob) skip the cache and predict without a context.
+func (c *BaseCache) Get(snap *Snapshot, base *ctgraph.Base) *pic.BaseContext {
+	key := cacheKey{snap: snap, base: base}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).bc
+	}
+	c.misses++
+	bc := snap.Model.NewBaseContext(base, snap.TC)
+	c.idx[key] = c.lru.PushFront(&cacheEntry{key: key, bc: bc})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	return bc
+}
+
+// Invalidate drops every context built against snap — the swap-time
+// reclamation (stale entries could never hit again, their key embeds the
+// old snapshot pointer, but dropping them eagerly frees the feature
+// matrices). Returns how many entries were dropped; they are counted as
+// evictions.
+func (c *BaseCache) Invalidate(snap *Snapshot) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.snap == snap {
+			c.lru.Remove(el)
+			delete(c.idx, e.key)
+			c.evictions++
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// Len returns the current entry count.
+func (c *BaseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Counters returns the cumulative hit/miss/eviction counts.
+func (c *BaseCache) Counters() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

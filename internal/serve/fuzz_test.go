@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+)
+
+// FuzzServeRequest throws arbitrary bytes at the /v1/predict decode path
+// and pins three properties: malformed input is rejected with ErrBadRequest
+// and never panics; every accepted request survives an encode → decode
+// round trip unchanged; and every accepted graph scores without panicking —
+// Validate really does screen everything the inference path indexes with.
+func FuzzServeRequest(f *testing.F) {
+	k := kernel.Generate(kernel.SmallConfig(3))
+	m := pic.New(pic.Config{Dim: 8, Layers: 1, Seed: 4})
+	tc := pic.NewTokenCache(k, m.Vocab)
+	numBlocks := k.NumBlocks()
+
+	f.Add([]byte(`{"graphs":[{"vertices":[{"block":0,"type":0}]}]}`))
+	f.Add([]byte(`{"model":"v1","deadline_ms":5,"graphs":[{` +
+		`"vertices":[{"block":0,"type":0},{"block":1,"type":1}],` +
+		`"edges":[{"from":0,"to":1,"type":0}],` +
+		`"hints":[{"thread":1,"block":0,"idx":2}],"hint_frac":[0.5]}]}`))
+	f.Add([]byte(`{"graphs":[]}`))
+	f.Add([]byte(`{"graphs":[{"vertices":[{"block":-1,"type":0}]}]}`))
+	f.Add([]byte(`{"graphs":[{"vertices":[{"block":0,"type":99}]}]}`))
+	f.Add([]byte(`{"graphs":[{"vertices":[{"block":0,"type":0}],"edges":[{"from":0,"to":7,"type":0}]}]}`))
+	f.Add([]byte(`{"graphs":[{"vertices":[{"block":0,"type":0}],"hint_frac":[1e999]}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data, numBlocks)
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("rejection not tagged ErrBadRequest: %v", err)
+			}
+			return
+		}
+
+		// Round trip: the canonical encoding is a fixed point — re-marshal,
+		// re-decode, re-marshal must reproduce the bytes. (DeepEqual on the
+		// structs would be too strict: JSON cannot distinguish nil from
+		// empty slices, and field-name case folds on decode.)
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted request: %v", err)
+		}
+		again, err := DecodeRequest(out, numBlocks)
+		if err != nil {
+			t.Fatalf("re-decode of %q: %v", out, err)
+		}
+		out2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("re-marshal after round trip: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("canonical encoding not a fixed point:\n was %s\n now %s", out, out2)
+		}
+
+		// Every accepted graph must score cleanly: finite probabilities in
+		// [0,1], one per vertex.
+		for i, wg := range req.Graphs {
+			g := wg.Graph()
+			scores := m.Predict(g, tc)
+			if len(scores) != len(wg.Vertices) {
+				t.Fatalf("graph %d: %d scores for %d vertices", i, len(scores), len(wg.Vertices))
+			}
+			for j, p := range scores {
+				if math.IsNaN(p) || p < 0 || p > 1 {
+					t.Fatalf("graph %d vertex %d: probability %v", i, j, p)
+				}
+			}
+		}
+	})
+}

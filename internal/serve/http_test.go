@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// postJSON posts a body to the test server and decodes the JSON reply.
+func postJSON(t *testing.T, ts *httptest.Server, path string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding reply: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s: decoding reply: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPPredictRoundTrip scores graphs over the wire and pins the
+// response to the direct in-process predictions: the JSON encode →
+// Rebind → score path is bit-identical too.
+func TestHTTPPredictRoundTrip(t *testing.T) {
+	f := newFixture(t, 1001, 2, 2)
+	s := f.newServer(t, Config{Sync: true, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := PredictRequest{}
+	for _, g := range f.graphs {
+		req.Graphs = append(req.Graphs, EncodeGraph(g))
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PredictResponse
+	if code := postJSON(t, ts, "/v1/predict", body, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Model != "v1" || got.Threshold != f.model.Threshold {
+		t.Fatalf("header: %+v", got)
+	}
+	want := make([][]float64, len(f.graphs))
+	for i, g := range f.graphs {
+		want[i] = f.model.Predict(g, f.tc)
+	}
+	if !reflect.DeepEqual(got.Scores, want) {
+		t.Fatal("wire-scored predictions diverged from direct Predict")
+	}
+}
+
+// TestHTTPStatusCodes maps each serving failure to its HTTP status.
+func TestHTTPStatusCodes(t *testing.T) {
+	f := newFixture(t, 1101, 1, 1)
+	s := f.newServer(t, Config{Sync: true, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	good, err := json.Marshal(PredictRequest{Graphs: []WireGraph{EncodeGraph(f.graphs[0])}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"ok", good, http.StatusOK},
+		{"malformed json", []byte(`{"graphs": [`), http.StatusBadRequest},
+		{"no graphs", []byte(`{"graphs": []}`), http.StatusBadRequest},
+		{"negative deadline", mutate(t, good, func(r *PredictRequest) { r.DeadlineMS = -1 }), http.StatusBadRequest},
+		{"bad vertex type", mutate(t, good, func(r *PredictRequest) { r.Graphs[0].Vertices[0].Type = 200 }), http.StatusBadRequest},
+		{"bad block", mutate(t, good, func(r *PredictRequest) { r.Graphs[0].Vertices[0].Block = 1 << 20 }), http.StatusBadRequest},
+		{"bad edge endpoint", mutate(t, good, func(r *PredictRequest) {
+			r.Graphs[0].Edges[0].To = int32(len(r.Graphs[0].Vertices))
+		}), http.StatusBadRequest},
+		{"unknown model pin", mutate(t, good, func(r *PredictRequest) { r.Model = "v99" }), http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e errorResponse
+			if code := postJSON(t, ts, "/v1/predict", tc.body, &e); code != tc.want {
+				t.Fatalf("status %d (error %q), want %d", code, e.Error, tc.want)
+			}
+		})
+	}
+}
+
+// mutate round-trips a known-good body through a tweak.
+func mutate(t *testing.T, body []byte, f func(*PredictRequest)) []byte {
+	t.Helper()
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	f(&req)
+	out, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestHTTPControlEndpoints covers /v1/models, /healthz and /statsz,
+// including the draining state after Close.
+func TestHTTPControlEndpoints(t *testing.T) {
+	f := newFixture(t, 1201, 1, 1)
+	s := f.newServer(t, Config{Sync: true, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var models []ModelInfo
+	if code := getJSON(t, ts, "/v1/models", &models); code != http.StatusOK {
+		t.Fatalf("models status %d", code)
+	}
+	if len(models) != 1 || models[0].Version != "v1" || !models[0].Active {
+		t.Fatalf("models: %+v", models)
+	}
+	if models[0].Params == 0 {
+		t.Fatal("model info missing parameter count")
+	}
+
+	var h struct {
+		Status string `json:"status"`
+		Model  string `json:"model"`
+	}
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusOK || h.Status != "ok" || h.Model != "v1" {
+		t.Fatalf("healthz: %d %+v", 0, h)
+	}
+
+	body, _ := json.Marshal(PredictRequest{Graphs: []WireGraph{EncodeGraph(f.graphs[0])}})
+	postJSON(t, ts, "/v1/predict", body, nil)
+	var st StatsSnapshot
+	if code := getJSON(t, ts, "/statsz", &st); code != http.StatusOK {
+		t.Fatalf("statsz status %d", code)
+	}
+	if st.Requests != 1 || st.Graphs != 1 || st.ServedByModel["v1"] != 1 {
+		t.Fatalf("statsz after one request: %+v", st)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts, "/healthz", &h); code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("healthz after Close: %d %+v", code, h)
+	}
+	if code := postJSON(t, ts, "/v1/predict", body, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("predict after Close: status %d", code)
+	}
+}
+
+// TestHTTPMethodNotAllowed pins the Go 1.22 method-pattern routing.
+func TestHTTPMethodNotAllowed(t *testing.T) {
+	f := newFixture(t, 1301, 1, 1)
+	s := f.newServer(t, Config{Sync: true, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict: status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPRejectsOversizedBody pins the request-size bound.
+func TestHTTPRejectsOversizedBody(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a >16MiB body")
+	}
+	f := newFixture(t, 1401, 1, 1)
+	s := f.newServer(t, Config{Sync: true, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	big := fmt.Appendf(nil, `{"graphs":[{"vertices":[%s{"block":0,"type":0}]}]}`,
+		bytes.Repeat([]byte(`{"block":0,"type":0},`), maxRequestBytes/21))
+	if code := postJSON(t, ts, "/v1/predict", big, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d", code)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import "sync/atomic"
+
+// stats holds the server's ledger-style counters. Admission-side counters
+// are bumped from request goroutines and batch-side counters from the
+// dispatcher, so everything is atomic; StatsSnapshot flattens them for
+// /statsz and tests.
+type stats struct {
+	requests atomic.Uint64 // predict requests admitted (before validation)
+	graphs   atomic.Uint64 // graphs carried by admitted requests
+	batches  atomic.Uint64 // inference batches dispatched
+	batched  atomic.Uint64 // graphs scored across all batches
+	shed     atomic.Uint64 // requests rejected by admission control (queue full)
+	expired  atomic.Uint64 // requests whose deadline passed before scoring
+	errors   atomic.Uint64 // requests failed for any other reason
+	swaps    atomic.Uint64 // model hot-swaps completed
+}
+
+// StatsSnapshot is a point-in-time copy of every serving counter, the
+// /statsz payload. MeanBatch derives the coalescing factor the batching
+// policy achieved; CacheHits/Misses/Evictions mirror the BaseContext LRU.
+type StatsSnapshot struct {
+	Requests       uint64            `json:"requests"`
+	Graphs         uint64            `json:"graphs"`
+	Batches        uint64            `json:"batches"`
+	BatchedGraphs  uint64            `json:"batched_graphs"`
+	MeanBatch      float64           `json:"mean_batch"`
+	Shed           uint64            `json:"shed"`
+	Expired        uint64            `json:"expired"`
+	Errors         uint64            `json:"errors"`
+	Swaps          uint64            `json:"swaps"`
+	CacheHits      uint64            `json:"cache_hits"`
+	CacheMisses    uint64            `json:"cache_misses"`
+	CacheEvictions uint64            `json:"cache_evictions"`
+	CacheLen       int               `json:"cache_len"`
+	QueueDepth     int               `json:"queue_depth"`
+	ServedByModel  map[string]uint64 `json:"served_by_model"`
+}
+
+// snapshot flattens the counters; the server layers in cache, queue and
+// per-version numbers.
+func (s *stats) snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		Requests:      s.requests.Load(),
+		Graphs:        s.graphs.Load(),
+		Batches:       s.batches.Load(),
+		BatchedGraphs: s.batched.Load(),
+		Shed:          s.shed.Load(),
+		Expired:       s.expired.Load(),
+		Errors:        s.errors.Load(),
+		Swaps:         s.swaps.Load(),
+	}
+	if out.Batches > 0 {
+		out.MeanBatch = float64(out.BatchedGraphs) / float64(out.Batches)
+	}
+	return out
+}
