@@ -28,6 +28,8 @@ test: lint
 		./internal/explore ./internal/campaign ./internal/razzer ./internal/snowboard
 	$(GO) test -race ./internal/serve
 	$(GO) test -race -run 'TestTokenCacheConcurrentReaders|TestBaseContextConcurrentPredict' ./internal/pic
+	$(GO) test -race -run 'TestCompiledMatchesInterpreter|TestCompiledChaosParity' ./internal/ski
+	$(GO) test -race -run 'TestQuant|TestQGCN|TestFused|TestInferStacked' ./internal/nn ./internal/pic ./internal/tensor
 
 test-race:
 	$(GO) test -race ./...
@@ -39,6 +41,7 @@ test-race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzScheduleKey$$' -fuzztime 10s ./internal/ski
 	$(GO) test -run '^$$' -fuzz '^FuzzExecute$$' -fuzztime 10s ./internal/ski
+	$(GO) test -run '^$$' -fuzz '^FuzzCompiledExecute$$' -fuzztime 10s ./internal/ski
 	$(GO) test -run '^$$' -fuzz '^FuzzCTGraphBuild$$' -fuzztime 10s ./internal/ctgraph
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime 10s ./internal/serve
 
@@ -53,9 +56,11 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkPredictBatch|BenchmarkSweep' -benchtime 3x .
 
-# Inference hot-path benchmarks; snapshots the numbers to BENCH_predict.json.
+# Inference + executor hot-path benchmarks; snapshots the numbers to
+# BENCH_predict.json. Covers the float base path, the opt-in quantized
+# path, the fused sweep, and both executors (interpreter vs compiled).
 bench-predict:
-	$(GO) test -run xxx -bench 'BenchmarkPredictOne$$|BenchmarkPredictOneBase$$|BenchmarkScheduleSweep$$|BenchmarkScheduleSweepBase$$' \
+	$(GO) test -run xxx -bench 'BenchmarkPredictOne$$|BenchmarkPredictOneBase$$|BenchmarkPredictOneQuant$$|BenchmarkScheduleSweep$$|BenchmarkScheduleSweepBase$$|BenchmarkScheduleSweepFused$$|BenchmarkExecuteInterp$$|BenchmarkExecuteCompiled$$' \
 		-benchmem -benchtime 2s . | tee bench_predict.out
 	awk 'BEGIN { print "[" } \
 		/^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \

@@ -19,6 +19,7 @@ import (
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/kernel"
 	"snowcat/internal/pic"
+	"snowcat/internal/sim"
 	"snowcat/internal/ski"
 	"snowcat/internal/syz"
 )
@@ -138,9 +139,74 @@ func BenchmarkScheduleSweepBase(b *testing.B) {
 	}
 }
 
-// TestSweepPathsAgree pins the two sweep benchmarks to each other: the
-// amortised path must produce bit-identical scores to the direct path for
-// every candidate schedule.
+// BenchmarkScheduleSweepFused is the fused sweep: one static adjacency per
+// CTI, schedules scored in stacked blocks (pic.PredictAllFused). Scores are
+// bit-identical to the Base sweep (TestSweepPathsAgree).
+func BenchmarkScheduleSweepFused(b *testing.B) {
+	f := getPredFixture()
+	gs := make([]*ctgraph.Graph, len(f.scheds))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := f.builder.BuildBase(f.cti, f.pa, f.pb)
+		bc := f.m.NewBaseContext(base, f.tc)
+		for j, sched := range f.scheds {
+			gs[j] = base.WithSchedule(sched)
+		}
+		f.m.PredictAllFused(gs, f.tc, 1, bc)
+	}
+}
+
+// BenchmarkPredictOneQuant is BenchmarkPredictOneBase under opt-in int8
+// weights — same walk, 8× smaller GCN weight memory, lossy by design.
+func BenchmarkPredictOneQuant(b *testing.B) {
+	f := getPredFixture()
+	base := f.builder.BuildBase(f.cti, f.pa, f.pb)
+	bc := f.m.NewBaseContext(base, f.tc)
+	g := base.WithSchedule(f.scheds[0])
+	s := pic.NewScratch()
+	f.m.SetQuantized(true)
+	defer f.m.SetQuantized(false) // fixture is shared: restore the float path
+	dst := f.m.PredictInto(nil, g, f.tc, s, bc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = f.m.PredictInto(dst, g, f.tc, s, bc)
+	}
+	_ = dst
+}
+
+// BenchmarkExecuteInterp is one full concurrent execution of the fixture
+// CTI through the reference interpreter, cycling the candidate schedules.
+func BenchmarkExecuteInterp(b *testing.B) {
+	f := getPredFixture()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ski.Execute(f.k, f.cti, f.scheds[i%len(f.scheds)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteCompiled is BenchmarkExecuteInterp through the compiled
+// direct-threaded executor; the kernel is compiled once outside the loop,
+// as a campaign would amortise it per kernel version.
+func BenchmarkExecuteCompiled(b *testing.B) {
+	f := getPredFixture()
+	p := sim.Compile(f.k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ski.ExecuteCompiled(p, f.cti, f.scheds[i%len(f.scheds)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSweepPathsAgree pins the sweep benchmarks to each other: the
+// amortised and fused paths must produce bit-identical scores to the
+// direct path for every candidate schedule.
 func TestSweepPathsAgree(t *testing.T) {
 	f := getPredFixture()
 	base := f.builder.BuildBase(f.cti, f.pa, f.pb)
@@ -155,5 +221,9 @@ func TestSweepPathsAgree(t *testing.T) {
 	got := f.m.PredictAllCtx(amort, f.tc, 1, bc)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("amortised sweep scores diverged from direct sweep")
+	}
+	fused := f.m.PredictAllFused(amort, f.tc, 1, bc)
+	if !reflect.DeepEqual(fused, want) {
+		t.Fatal("fused sweep scores diverged from direct sweep")
 	}
 }

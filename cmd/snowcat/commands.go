@@ -29,6 +29,13 @@ func parallelFlag(fs *flag.FlagSet) *int {
 	return fs.Int("parallel", runtime.NumCPU(), "worker count for parallel phases (results are identical at any count)")
 }
 
+// quantizedFlag registers the shared -quantized flag: opt-in int8 GCN
+// weights for scoring (8x smaller weight memory, lossy by design). The
+// float path stays the default and is bit-identical to older builds.
+func quantizedFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("quantized", false, "score with int8-quantized GCN weights (lossy; the float path is the default)")
+}
+
 // exploreFlags bundles every flag the exploration subcommands (campaign,
 // razzer, snowboard) share beyond -seed: the worker pool plus the
 // chaos-testing fault/resilience knobs. One registration point keeps the
@@ -245,6 +252,7 @@ func cmdEval(args []string) error {
 	ctis := fs.Int("ctis", 25, "evaluation CTIs")
 	inter := fs.Int("interleavings", 8, "interleavings per CTI")
 	par := parallelFlag(fs)
+	quant := quantizedFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,6 +264,7 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
+	m.SetQuantized(*quant)
 	tc := pic.NewTokenCache(k, m.Vocab)
 	col := dataset.NewCollector(k, *seed+20)
 	ds, err := col.Collect(dataset.Config{Seed: *seed + 21, NumCTIs: *ctis, InterleavingsPerCTI: *inter, Parallel: *par})
@@ -298,6 +307,7 @@ func cmdCampaign(args []string) error {
 	progress := fs.Bool("progress", false, "print pipeline progress from the explore hooks")
 	every := fs.Int("progress-every", 100, "executions between -progress lines")
 	ef := newExploreFlags(fs)
+	quant := quantizedFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -309,6 +319,7 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
+	m.SetQuantized(*quant)
 	tc := pic.NewTokenCache(k, m.Vocab)
 
 	// The progress observer rides the pipeline's explore.Hooks: executed

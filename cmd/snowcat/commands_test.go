@@ -28,6 +28,7 @@ func TestSharedFlagSets(t *testing.T) {
 	parallel := []string{"-parallel", "2"}
 	chaos := []string{"-fault-rate", "0.1", "-fault-seed", "3", "-retries", "2"}
 	serving := []string{"-max-batch", "8", "-wait-ms", "1", "-queue", "16", "-deadline-ms", "100", "-cache", "8"}
+	quantized := []string{"-quantized"}
 	cases := []struct {
 		name   string
 		cmd    func([]string) error
@@ -35,12 +36,12 @@ func TestSharedFlagSets(t *testing.T) {
 	}{
 		{"collect", cmdCollect, [][]string{parallel}},
 		{"train", cmdTrain, [][]string{parallel}},
-		{"eval", cmdEval, [][]string{parallel}},
-		{"campaign", cmdCampaign, [][]string{parallel, chaos}},
+		{"eval", cmdEval, [][]string{parallel, quantized}},
+		{"campaign", cmdCampaign, [][]string{parallel, chaos, quantized}},
 		{"razzer", cmdRazzer, [][]string{parallel, chaos}},
 		{"snowboard", cmdSnowboard, [][]string{parallel, chaos}},
-		{"serve", cmdServe, [][]string{parallel, serving}},
-		{"loadgen", cmdLoadgen, [][]string{parallel, serving}},
+		{"serve", cmdServe, [][]string{parallel, serving, quantized}},
+		{"loadgen", cmdLoadgen, [][]string{parallel, serving, quantized}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

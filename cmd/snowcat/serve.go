@@ -55,7 +55,7 @@ func serveModel(k *kernel.Kernel, path string, seed uint64) (*pic.Model, error) 
 }
 
 // newServerFromFlags assembles kernel, model, registry, and server.
-func newServerFromFlags(seed uint64, size, model string, mkConfig func() serve.Config) (*serve.Server, *kernel.Kernel, error) {
+func newServerFromFlags(seed uint64, size, model string, quantized bool, mkConfig func() serve.Config) (*serve.Server, *kernel.Kernel, error) {
 	k, _, err := kernelFromFlags(seed, size)
 	if err != nil {
 		return nil, nil, err
@@ -64,6 +64,7 @@ func newServerFromFlags(seed uint64, size, model string, mkConfig func() serve.C
 	if err != nil {
 		return nil, nil, err
 	}
+	m.SetQuantized(quantized)
 	reg := serve.NewRegistry()
 	if err := reg.Load("v1", m, pic.NewTokenCache(k, m.Vocab)); err != nil {
 		return nil, nil, err
@@ -81,10 +82,11 @@ func cmdServe(args []string) error {
 	model := fs.String("model", "", "model file to serve (empty serves an untrained model)")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
 	mkConfig := serveFlags(fs)
+	quant := quantizedFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, k, err := newServerFromFlags(*seed, *size, *model, mkConfig)
+	s, k, err := newServerFromFlags(*seed, *size, *model, *quant, mkConfig)
 	if err != nil {
 		return err
 	}
@@ -135,6 +137,7 @@ func cmdLoadgen(args []string) error {
 	requests := fs.Int("requests", 200, "total requests across all clients")
 	batch := fs.Int("batch", 8, "graphs per request")
 	mkConfig := serveFlags(fs)
+	quant := quantizedFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,7 +147,7 @@ func cmdLoadgen(args []string) error {
 
 	base := *addr
 	if base == "" {
-		s, _, err := newServerFromFlags(*seed, *size, *model, mkConfig)
+		s, _, err := newServerFromFlags(*seed, *size, *model, *quant, mkConfig)
 		if err != nil {
 			return err
 		}

@@ -100,6 +100,15 @@ func (g *RelGraph) Finalize() {
 	g.cursor = growI32(g.cursor, g.NumNodes)
 	for r := range g.Rel {
 		edges := g.Rel[r]
+		if len(edges) == 0 {
+			// Every consumer gates on a non-empty source list before touching
+			// the offsets or norms, so an edgeless relation needs no CSR at
+			// all — only a zero-length source marker. Skipping the offset and
+			// norm fills makes sparse rebuilds (the fused sweep's per-schedule
+			// hint deltas, which populate 2 of 14 relations) near-free.
+			g.csrSrc[r] = g.csrSrc[r][:0]
+			continue
+		}
 		off := growI32(g.csrOff[r], g.NumNodes+1)
 		for i := range off {
 			off[i] = 0
@@ -216,14 +225,18 @@ func (l *GCNLayer) Forward(g *RelGraph, h *tensor.Matrix) *tensor.Matrix {
 // Infer computes H' into out (NumNodes×Out) without touching the layer's
 // backward caches: it only reads the parameters, so any number of
 // goroutines may call Infer on one shared layer, each with its own out and
-// agg buffers. agg (NumNodes×In) is per-relation scratch, fully rewritten.
+// agg buffers. agg is caller-owned scratch; only its first row (In wide)
+// is used, as the per-destination gather buffer.
 //
-// The aggregation walks the finalized CSR view: a sequential gather per
-// destination row instead of Forward's scatter over the edge list. Each
-// aggregate element still accumulates its incoming terms in edge-insertion
-// order (CSR grouping is stable) and an edge-free relation contributes
-// exactly nothing (as an all-zero agg does under MulAddInto's zero-skip),
-// so Infer's output is bit-identical to Forward's.
+// The aggregation walks the finalized CSR view destination by destination:
+// gather the in-edges of row d into the buffer, then multiply that one row
+// into out immediately (MulAddRowInto). Rows without in-edges are never
+// visited — exactly the rows whose all-zero aggregate contributed nothing
+// under MulAddInto's zero-skip — and each visited row accumulates its
+// incoming terms in edge-insertion order (CSR grouping is stable), so
+// Infer's output stays bit-identical to Forward's while skipping the
+// full-matrix zeroing and the zero-row scans the materialised aggregate
+// needed.
 func (l *GCNLayer) Infer(g *RelGraph, h, out, agg *tensor.Matrix) {
 	if !g.finalized {
 		panic("nn: GCNLayer.Infer on a RelGraph that was not finalized")
@@ -231,6 +244,10 @@ func (l *GCNLayer) Infer(g *RelGraph, h, out, agg *tensor.Matrix) {
 	tensor.MulInto(out, h, l.WSelf.Matrix())
 	out.AddRowVec(l.B.Val)
 	n := g.NumNodes
+	var buf []float64
+	if len(agg.Data) >= l.In {
+		buf = agg.Data[:l.In]
+	}
 	for r := range l.WRel {
 		if r >= g.NumRel() {
 			continue
@@ -239,26 +256,100 @@ func (l *GCNLayer) Infer(g *RelGraph, h, out, agg *tensor.Matrix) {
 		if len(src) == 0 {
 			continue // no edges: the relation term is identically zero
 		}
-		agg.Zero()
 		norm := g.Norm[r]
+		w := l.WRel[r].Matrix()
 		for d := 0; d < n; d++ {
 			lo, hi := off[d], off[d+1]
 			if lo == hi {
 				continue
 			}
-			arow := agg.Row(d)
-			nd := norm[d]
-			// Gather in-edges two at a time; AXPY2 keeps the per-element
-			// accumulation in edge order, so pairing is bit-neutral.
-			e := lo
-			for ; e+1 < hi; e += 2 {
-				tensor.AXPY2(nd, h.Row(int(src[e])), nd, h.Row(int(src[e+1])), arow)
-			}
-			if e < hi {
-				tensor.AXPY(nd, h.Row(int(src[e])), arow)
+			// Gather the in-edges in edge-insertion order (the chain a
+			// zeroed buffer accumulated by sequential AXPYs would produce),
+			// then multiply the one gathered row into out immediately.
+			tensor.GatherScaledInto(buf, norm[d], h.Data, l.In, src[lo:hi])
+			tensor.MulAddRowInto(out.Row(d), buf, w)
+		}
+	}
+	out.ReLUInPlace(nil)
+}
+
+// InferStacked is Infer over a batch of K graphs that share one adjacency
+// skeleton, laid out as K stacked row blocks: h and out are (K·n)×In and
+// (K·n)×Out, with graph j occupying rows [j·n, (j+1)·n).
+//
+// The adjacency is split in two. shared holds the relations whose edges are
+// identical for every stacked graph (finalized once, walked K times with a
+// per-graph row offset); deltas[j] holds graph j's private relations (its
+// scheduling-hint edges, in the CT-graph use). The two parts must be
+// disjoint per relation — for every relation r with edges in deltas[j],
+// shared must carry no edges — so each destination row's in-edges come from
+// exactly one side and both its gather chain and its 1/in-degree norm match
+// the monolithic graph's. Under that contract every output row is
+// bit-identical to a per-graph Infer over the full adjacency: the self term
+// is row-independent, relations are applied in the same ascending order,
+// and each visited row accumulates the same gathered buffer through the
+// same MulAddRowInto call. A nil deltas entry means graph j has no private
+// edges.
+func (l *GCNLayer) InferStacked(shared *RelGraph, deltas []*RelGraph, h, out, agg *tensor.Matrix) {
+	if !shared.finalized {
+		panic("nn: GCNLayer.InferStacked on a RelGraph that was not finalized")
+	}
+	k := len(deltas)
+	n := shared.NumNodes
+	if h.Rows != k*n || out.Rows != k*n {
+		panic("nn: GCNLayer.InferStacked stacked shape mismatch")
+	}
+	for _, dg := range deltas {
+		if dg == nil {
+			continue
+		}
+		if !dg.finalized {
+			panic("nn: GCNLayer.InferStacked delta RelGraph not finalized")
+		}
+		if dg.NumNodes != n {
+			panic("nn: GCNLayer.InferStacked delta node count differs from shared")
+		}
+	}
+	tensor.MulInto(out, h, l.WSelf.Matrix())
+	out.AddRowVec(l.B.Val)
+	var buf []float64
+	if len(agg.Data) >= l.In {
+		buf = agg.Data[:l.In]
+	}
+	for r := range l.WRel {
+		w := l.WRel[r].Matrix()
+		if r < shared.NumRel() && len(shared.csrSrc[r]) > 0 {
+			off, src, norm := shared.csrOff[r], shared.csrSrc[r], shared.Norm[r]
+			for j := 0; j < k; j++ {
+				hd := h.Data[j*n*l.In:]
+				for d := 0; d < n; d++ {
+					lo, hi := off[d], off[d+1]
+					if lo == hi {
+						continue
+					}
+					tensor.GatherScaledInto(buf, norm[d], hd, l.In, src[lo:hi])
+					tensor.MulAddRowInto(out.Row(j*n+d), buf, w)
+				}
 			}
 		}
-		tensor.MulAddInto(out, agg, l.WRel[r].Matrix())
+		for j, dg := range deltas {
+			if dg == nil || r >= dg.NumRel() || len(dg.csrSrc[r]) == 0 {
+				continue
+			}
+			if r < shared.NumRel() && len(shared.csrSrc[r]) > 0 {
+				panic("nn: GCNLayer.InferStacked relation present in both shared and delta adjacency")
+			}
+			off, src, norm := dg.csrOff[r], dg.csrSrc[r], dg.Norm[r]
+			hd := h.Data[j*n*l.In:]
+			for d := 0; d < n; d++ {
+				lo, hi := off[d], off[d+1]
+				if lo == hi {
+					continue
+				}
+				tensor.GatherScaledInto(buf, norm[d], hd, l.In, src[lo:hi])
+				tensor.MulAddRowInto(out.Row(j*n+d), buf, w)
+			}
+		}
 	}
 	out.ReLUInPlace(nil)
 }

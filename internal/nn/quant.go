@@ -1,0 +1,73 @@
+// Quantized GCN inference: an int8 snapshot of a trained layer.
+//
+// QGCNLayer freezes a GCNLayer's weights into tensor.QMatrix form (int8
+// codes, one float64 scale per weight row) and re-implements the Infer walk
+// over the quantized kernels. The snapshot is lossy — per weight the
+// dequantization error is at most scale/2 — so it is strictly opt-in
+// (pic.Model.SetQuantized); the float layer remains the bit-identical
+// reference. A QGCNLayer is immutable and shares no mutable state with its
+// source layer, so any number of goroutines may infer through one snapshot
+// while the float layer keeps training elsewhere — but the snapshot does
+// NOT track later weight updates; re-quantize after any optimiser step.
+package nn
+
+import "snowcat/internal/tensor"
+
+// QGCNLayer is the int8 inference snapshot of one GCNLayer.
+type QGCNLayer struct {
+	In, Out int
+	WSelf   *tensor.QMatrix
+	WRel    []*tensor.QMatrix
+	B       []float64
+}
+
+// Quantize snapshots the layer's current weights into int8.
+func (l *GCNLayer) Quantize() *QGCNLayer {
+	q := &QGCNLayer{
+		In: l.In, Out: l.Out,
+		WSelf: tensor.Quantize(l.WSelf.Matrix()),
+		B:     append([]float64(nil), l.B.Val...),
+	}
+	for _, w := range l.WRel {
+		q.WRel = append(q.WRel, tensor.Quantize(w.Matrix()))
+	}
+	return q
+}
+
+// Infer mirrors GCNLayer.Infer over the quantized weights: same CSR walk,
+// same relation order, same float64 accumulation — only each weight read
+// dequantizes an int8 code on the fly. Outputs therefore track the float
+// layer up to the quantization error of the weights, not bit-exactly.
+func (q *QGCNLayer) Infer(g *RelGraph, h, out, agg *tensor.Matrix) {
+	if !g.finalized {
+		panic("nn: QGCNLayer.Infer on a RelGraph that was not finalized")
+	}
+	out.Zero()
+	tensor.MulAddQInto(out, h, q.WSelf)
+	out.AddRowVec(q.B)
+	n := g.NumNodes
+	var buf []float64
+	if len(agg.Data) >= q.In {
+		buf = agg.Data[:q.In]
+	}
+	for r := range q.WRel {
+		if r >= g.NumRel() {
+			continue
+		}
+		off, src := g.csrOff[r], g.csrSrc[r]
+		if len(src) == 0 {
+			continue
+		}
+		norm := g.Norm[r]
+		w := q.WRel[r]
+		for d := 0; d < n; d++ {
+			lo, hi := off[d], off[d+1]
+			if lo == hi {
+				continue
+			}
+			tensor.GatherScaledInto(buf, norm[d], h.Data, q.In, src[lo:hi])
+			tensor.MulAddQRowInto(out.Row(d), buf, w)
+		}
+	}
+	out.ReLUInPlace(nil)
+}

@@ -1,0 +1,153 @@
+package pic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+)
+
+// TestFusedMatchesLoop is the fusion contract: PredictAllFused must be
+// bit-identical to per-graph Predict across worker counts, for a mix of
+// fusable schedules, IRQ schedules (vertices beyond the base prefix, the
+// per-graph fallback), and a foreign graph from another base.
+func TestFusedMatchesLoop(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(301))
+	m := New(tinyCfg(302))
+	tc := NewTokenCache(k, m.Vocab)
+	f := newCTIFixture(t, k, 303, 19) // > 2 fuse blocks, plus an IRQ schedule
+	bc := m.NewBaseContext(f.base, tc)
+
+	graphs := make([]*ctgraph.Graph, 0, len(f.scheds)+1)
+	for _, sched := range f.scheds {
+		graphs = append(graphs, f.base.WithSchedule(sched))
+	}
+	// A foreign graph in the middle of the batch: own base, must fall back.
+	foreign := f.builder.Build(f.cti, f.pa, f.pb, f.scheds[0])
+	graphs = append(graphs[:4], append([]*ctgraph.Graph{foreign}, graphs[4:]...)...)
+
+	want := make([][]float64, len(graphs))
+	for i, g := range graphs {
+		want[i] = m.Predict(g, tc)
+	}
+	sawFused, sawFallback := false, false
+	for _, g := range graphs {
+		if fusable(g, bc) {
+			sawFused = true
+		} else {
+			sawFallback = true
+		}
+	}
+	if !sawFused || !sawFallback {
+		t.Fatalf("fixture must mix fusable and fallback graphs (fused=%v fallback=%v)", sawFused, sawFallback)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		got := m.PredictAllFused(graphs, tc, workers, bc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: PredictAllFused diverged from Predict", workers)
+		}
+	}
+
+	// nil context degrades to the plain batched path, never wrong.
+	if got := m.PredictAllFused(graphs, tc, 1, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("PredictAllFused with nil BaseContext diverged from Predict")
+	}
+}
+
+// TestFusedScratchReuse runs two fused batches of different sizes through
+// one scratch: buffer reuse across block shapes must not leak state.
+func TestFusedScratchReuse(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(311))
+	m := New(tinyCfg(312))
+	tc := NewTokenCache(k, m.Vocab)
+	f := newCTIFixture(t, k, 313, 9)
+	bc := m.NewBaseContext(f.base, tc)
+	var graphs []*ctgraph.Graph
+	for _, sched := range f.scheds {
+		if len(sched.IRQs) > 0 {
+			continue
+		}
+		graphs = append(graphs, f.base.WithSchedule(sched))
+	}
+	if len(graphs) < 3 {
+		t.Skip("not enough fusable schedules sampled")
+	}
+	want := make([][]float64, len(graphs))
+	for i, g := range graphs {
+		want[i] = m.Predict(g, tc)
+	}
+	s := NewScratch()
+	out := make([][]float64, len(graphs))
+	m.predictStacked(out[:len(graphs)], graphs, tc, s, bc)
+	m.predictStacked(out[:2], graphs[:2], tc, s, bc) // smaller block, reused buffers
+	for i := range graphs[:2] {
+		if !reflect.DeepEqual(out[i], want[i]) {
+			t.Fatalf("graph %d diverged after scratch reuse", i)
+		}
+	}
+}
+
+// TestQuantizedMatchesFloat pins the opt-in int8 mode end to end on a
+// fixture corpus: quantized probabilities must stay within a small absolute
+// error of the float path and rank the same top vertex (argmax), and
+// switching the mode off must restore bit-identical float output.
+func TestQuantizedMatchesFloat(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(321))
+	m := New(tinyCfg(322))
+	tc := NewTokenCache(k, m.Vocab)
+	f := newCTIFixture(t, k, 323, 8)
+
+	argmax := func(p []float64) int {
+		best := 0
+		for i, v := range p {
+			if v > p[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	var maxErr float64
+	for i, sched := range f.scheds {
+		g := f.base.WithSchedule(sched)
+		want := m.Predict(g, tc)
+
+		m.SetQuantized(true)
+		if !m.Quantized() {
+			t.Fatal("SetQuantized(true) did not enable quantized mode")
+		}
+		got := m.Predict(g, tc)
+		m.SetQuantized(false)
+
+		if len(got) != len(want) {
+			t.Fatalf("schedule %d: quantized length %d, float %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if err := math.Abs(got[j] - want[j]); err > maxErr {
+				maxErr = err
+			}
+		}
+		if len(want) > 0 && argmax(got) != argmax(want) {
+			t.Fatalf("schedule %d: quantized argmax %d, float %d", i, argmax(got), argmax(want))
+		}
+
+		back := m.Predict(g, tc)
+		if !reflect.DeepEqual(back, want) {
+			t.Fatalf("schedule %d: float path not bit-identical after SetQuantized round trip", i)
+		}
+	}
+	// The int8 grid perturbs each weight by at most scale/2; through a
+	// 2-layer Dim-12 stack and a sigmoid that stays well under 0.05 in
+	// probability space on this corpus. The bound is empirical with margin,
+	// not analytic — its job is to catch a broken kernel (errors near 0.5),
+	// not to certify a tight error model.
+	if maxErr == 0 {
+		t.Fatal("quantized path bit-identical to float: quantization not applied")
+	}
+	if maxErr > 0.05 {
+		t.Fatalf("quantized max abs probability error %g exceeds 0.05", maxErr)
+	}
+}

@@ -1,0 +1,28 @@
+// Opt-in int8 quantized inference (see internal/nn quant.go and
+// internal/tensor quant.go for the layer and kernel halves).
+package pic
+
+// SetQuantized toggles quantized inference. Enabling snapshots the current
+// GCN weights into int8 (8× smaller weight memory, float64 accumulation);
+// disabling restores the bit-identical float path, which is the default.
+// The snapshot is taken at call time and does not track later training
+// steps — re-enable after any optimiser update — and it never survives
+// Save/Load or Clone (the serialised model stays float-only). Not safe to
+// call concurrently with inference: flip the mode before sharing the model
+// across workers. The feature assembly and the prediction head stay in
+// float either way; only the GCN stack — where virtually all weights live —
+// is quantized, so outputs track the float path up to the weight
+// quantization error (pinned by TestQuantizedMatchesFloat).
+func (m *Model) SetQuantized(on bool) {
+	if !on {
+		m.qgcn = nil
+		return
+	}
+	m.qgcn = m.qgcn[:0]
+	for _, l := range m.GCN {
+		m.qgcn = append(m.qgcn, l.Quantize())
+	}
+}
+
+// Quantized reports whether quantized inference is enabled.
+func (m *Model) Quantized() bool { return m.qgcn != nil }

@@ -1,0 +1,180 @@
+package ski
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/kasm"
+	"snowcat/internal/kernel"
+	"snowcat/internal/parallel"
+	"snowcat/internal/sim"
+	"snowcat/internal/syz"
+)
+
+// sameOutcome pins two executor runs against each other: identical result
+// values (DeepEqual) or identical errors (same text — the compiled
+// executor reproduces the interpreter's error messages verbatim).
+func sameOutcome(t *testing.T, label string, want *Result, werr error, got *Result, gerr error) {
+	t.Helper()
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("%s: interpreter err = %v, compiled err = %v", label, werr, gerr)
+	}
+	if werr != nil {
+		if werr.Error() != gerr.Error() {
+			t.Fatalf("%s: error text diverged:\n  interp:   %v\n  compiled: %v", label, werr, gerr)
+		}
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: compiled result diverged from interpreter", label)
+	}
+}
+
+// compiledCorpus builds one kernel (optionally with IRQ handlers), a CTI
+// and a family of schedules — hint-only and with IRQ injections.
+func compiledCorpus(t *testing.T, seed uint64, numIRQs int) (*kernel.Kernel, CTI, []Schedule) {
+	t.Helper()
+	cfg := kernel.SmallConfig(seed)
+	cfg.NumIRQs = numIRQs
+	k := kernel.Generate(cfg)
+	gen := syz.NewGenerator(k, seed+1)
+	cti := CTI{ID: int64(seed), A: gen.Generate(), B: gen.Generate()}
+	pa, err := syz.Run(k, cti.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(k, cti.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := NewSampler(pa, pb, seed+2)
+	var scheds []Schedule
+	scheds = append(scheds, Schedule{}) // sequential reference
+	for i := 0; i < 12; i++ {
+		scheds = append(scheds, sampler.NextD(2+i%4))
+	}
+	for i := 0; i < 8; i++ {
+		scheds = append(scheds, sampler.NextWithIRQs(1+i%3, len(k.IRQs)))
+	}
+	// Hostile refs exercising the relaxed skip semantics.
+	scheds = append(scheds, Schedule{
+		Hints: []Hint{{Thread: 0, Ref: sim.InstrRef{Block: -1, Idx: 7}}},
+		IRQs:  []IRQHint{{Thread: 1, Ref: sim.InstrRef{Block: 1 << 30, Idx: -3}, IRQ: 99}},
+	})
+	return k, cti, scheds
+}
+
+// TestCompiledMatchesInterpreter pins the compiled executor to the
+// reference interpreter over kernels with and without interrupt handlers,
+// at worker counts 1 and 4 sharing one Program (run under -race by
+// `make test` to prove the compiled program is immutable in use).
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	for _, tc := range []struct {
+		seed    uint64
+		numIRQs int
+	}{{41, 0}, {43, 3}} {
+		k, cti, scheds := compiledCorpus(t, tc.seed, tc.numIRQs)
+		p := sim.Compile(k)
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("seed=%d/irqs=%d/workers=%d", tc.seed, tc.numIRQs, workers)
+			t.Run(name, func(t *testing.T) {
+				err := parallel.ForEach(workers, len(scheds), func(i int) error {
+					want, werr := Execute(k, cti, scheds[i])
+					got, gerr := ExecuteCompiled(p, cti, scheds[i])
+					sameOutcome(t, fmt.Sprintf("schedule %d", i), want, werr, got, gerr)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledChaosParity pins the degraded paths: exhausted step budgets
+// and corrupted kernels must produce the same results and the same error
+// texts from both executors.
+func TestCompiledChaosParity(t *testing.T) {
+	t.Run("step-budgets", func(t *testing.T) {
+		k, cti, scheds := compiledCorpus(t, 47, 2)
+		p := sim.Compile(k)
+		for _, limit := range []int{1, 2, 3, 7, 50, 400, 5000} {
+			for i, sched := range scheds {
+				want, werr := ExecuteSteps(k, cti, sched, limit)
+				got, gerr := ExecuteCompiledSteps(p, cti, sched, limit)
+				sameOutcome(t, fmt.Sprintf("limit=%d schedule=%d", limit, i), want, werr, got, gerr)
+			}
+		}
+	})
+
+	// Corrupted kernels: each mutation is applied to a fresh kernel, which
+	// is then compiled — the compiled executor must degrade with the
+	// interpreter's exact ErrBadJump/ErrBadCall errors, not panic.
+	corruptions := []struct {
+		name   string
+		mutate func(k *kernel.Kernel)
+	}{
+		{"jump-to-foreign-block", func(k *kernel.Kernel) {
+			for _, b := range k.Blocks {
+				if in := b.Terminator(); in.Op.IsCondBranch() || in.Op == kasm.OpJmp {
+					in.Target = 1 << 29
+					return
+				}
+			}
+		}},
+		{"call-unknown-function", func(k *kernel.Kernel) {
+			for _, b := range k.Blocks {
+				if in := b.Terminator(); in.Op == kasm.OpCall {
+					in.Callee = -5
+					return
+				}
+			}
+		}},
+		{"syscall-names-unknown-function", func(k *kernel.Kernel) {
+			k.Syscalls[0].Fn = int32(len(k.Funcs) + 7)
+		}},
+		{"terminator-replaced-by-nop", func(k *kernel.Kernel) {
+			// The last block of a function loses its ret: control falls
+			// off the function end mid-execution.
+			fn := k.Funcs[k.Syscalls[0].Fn]
+			last := k.Blocks[fn.Blocks[len(fn.Blocks)-1]]
+			last.Instrs[len(last.Instrs)-1] = kasm.Instr{Op: kasm.OpNop}
+		}},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := kernel.SmallConfig(53)
+			k := kernel.Generate(cfg)
+			gen := syz.NewGenerator(k, 54)
+			cti := CTI{ID: 53, A: gen.Generate(), B: gen.Generate()}
+			c.mutate(k)
+			p := sim.Compile(k)
+			scheds := []Schedule{
+				{},
+				{Hints: []Hint{
+					{Thread: 0, Ref: sim.InstrRef{Block: 3, Idx: 0}},
+					{Thread: 1, Ref: sim.InstrRef{Block: 5, Idx: 1}},
+				}},
+			}
+			for i, sched := range scheds {
+				want, werr := Execute(k, cti, sched)
+				got, gerr := ExecuteCompiled(p, cti, sched)
+				sameOutcome(t, fmt.Sprintf("schedule %d", i), want, werr, got, gerr)
+			}
+		})
+	}
+}
+
+// TestCompiledBadScheduleRejected pins the up-front validation parity.
+func TestCompiledBadScheduleRejected(t *testing.T) {
+	k, cti, _ := compiledCorpus(t, 59, 0)
+	p := sim.Compile(k)
+	bad := Schedule{Hints: []Hint{{Thread: 7}}}
+	_, werr := Execute(k, cti, bad)
+	_, gerr := ExecuteCompiled(p, cti, bad)
+	if werr == nil || gerr == nil || werr.Error() != gerr.Error() {
+		t.Fatalf("bad-schedule errors diverged: %v vs %v", werr, gerr)
+	}
+}

@@ -64,14 +64,38 @@ type Schedule struct {
 	IRQs  []IRQHint
 }
 
+// decLen returns the decimal rendering length of x, sign included.
+func decLen(x int32) int {
+	u, n := uint64(x), 1
+	if x < 0 {
+		u = uint64(-int64(x))
+		n = 2
+	}
+	for u >= 10 {
+		u /= 10
+		n++
+	}
+	return n
+}
+
 // Key returns a comparable identity for deduplicating schedules. Every
-// proposal a sampler draws is keyed, so the key is built in one
-// preallocated pass rather than by quadratic string concatenation; the
-// byte format is unchanged ("T@bB:I;" per hint, "irqQ:T@bB:I;" per
-// injection, matching the historical Sprintf output).
+// proposal a sampler draws is keyed, so the key is sized exactly from its
+// operands and built in one preallocated pass — a single allocation at any
+// hint count, no growth copies; the byte format is unchanged ("T@bB:I;"
+// per hint, "irqQ:T@bB:I;" per injection, matching the historical Sprintf
+// output).
 func (s Schedule) Key() string {
+	size := 0
+	for _, h := range s.Hints {
+		// T '@' 'b' B ':' I ';'
+		size += decLen(h.Thread) + decLen(h.Ref.Block) + decLen(h.Ref.Idx) + 4
+	}
+	for _, q := range s.IRQs {
+		// "irq" Q ':' T '@' 'b' B ':' I ';'
+		size += decLen(q.IRQ) + decLen(q.Thread) + decLen(q.Ref.Block) + decLen(q.Ref.Idx) + 8
+	}
 	var b strings.Builder
-	b.Grow(len(s.Hints)*12 + len(s.IRQs)*18)
+	b.Grow(size)
 	var scratch [20]byte
 	num := func(x int32) {
 		b.Write(strconv.AppendInt(scratch[:0], int64(x), 10))
@@ -180,25 +204,71 @@ func ExecuteSteps(k *kernel.Kernel, cti CTI, sched Schedule, stepLimit int) (*Re
 	}
 	m := sim.NewMachine(k)
 	m.Limit = stepLimit
-	threads := [2]*sim.Thread{
+	return runSchedule(k, cti, sched, [2]execThread{
 		sim.NewThread(m, 0, cti.A.Calls),
 		sim.NewThread(m, 1, cti.B.Calls),
+	})
+}
+
+// ExecuteCompiled is Execute through the compiled direct-threaded executor:
+// p is the CTI's kernel compiled once with sim.Compile, amortised across
+// every execution of that kernel version. Results are pinned DeepEqual to
+// Execute on all inputs (TestCompiledMatchesInterpreter,
+// FuzzCompiledExecute).
+func ExecuteCompiled(p *sim.Program, cti CTI, sched Schedule) (*Result, error) {
+	return ExecuteCompiledSteps(p, cti, sched, 0)
+}
+
+// ExecuteCompiledSteps is ExecuteCompiled with ExecuteSteps' budget knob.
+func ExecuteCompiledSteps(p *sim.Program, cti CTI, sched Schedule, stepLimit int) (*Result, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("ski: executing %s: %w", cti, err)
 	}
+	k := p.Kernel()
+	m := sim.NewMachine(k)
+	m.Limit = stepLimit
+	return runSchedule(k, cti, sched, [2]execThread{
+		sim.NewCThread(p, m, 0, cti.A.Calls),
+		sim.NewCThread(p, m, 1, cti.B.Calls),
+	})
+}
+
+// execThread is the scheduler's view of a kernel thread; both the
+// reference interpreter (sim.Thread) and the compiled executor
+// (sim.CThread) satisfy it.
+type execThread interface {
+	State() sim.ThreadState
+	Step() (sim.Event, error)
+	InjectIRQ(fn int32)
+}
+
+// runSchedule is the executor core shared by the interpreted and compiled
+// paths: the SKI uniprocessor scheduling loop over two pre-built threads.
+func runSchedule(k *kernel.Kernel, cti CTI, sched Schedule, threads [2]execThread) (*Result, error) {
 	res := &Result{Covered: make([]bool, k.NumBlocks())}
 	res.CoveredBy[0] = make([]bool, k.NumBlocks())
 	res.CoveredBy[1] = make([]bool, k.NumBlocks())
+	// Access logs reach hundreds of entries on typical CTIs; starting the
+	// append ladder at a real capacity removes the early growslice copies
+	// that used to dominate the recording cost (capacity is invisible to
+	// the DeepEqual result contract).
+	res.Accesses[0] = make([]syz.Access, 0, 256)
+	res.Accesses[1] = make([]syz.Access, 0, 256)
 
 	hints := sched.Hints
 	irqs := append([]IRQHint(nil), sched.IRQs...)
 	cur := int32(0)
 	globalStep := 0
 
-	for {
-		// Drop hints that name finished threads: they can never fire.
-		for len(hints) > 0 && threads[hints[0].Thread].State() == sim.Done {
-			hints = hints[1:]
-		}
+	// Done-ness is monotone and a thread only finishes during its own Step,
+	// so it is tracked in flags instead of re-querying State() — the
+	// per-step State() calls are the scheduler's hottest interface
+	// dispatches.
+	var done [2]bool
+	done[0] = threads[0].State() == sim.Done
+	done[1] = threads[1].State() == sim.Done
 
+	for {
 		t := threads[cur]
 		switch t.State() {
 		case sim.Done, sim.BlockedOnLock:
@@ -209,7 +279,7 @@ func ExecuteSteps(k *kernel.Kernel, cti CTI, sched Schedule, stepLimit int) (*Re
 				res.Switches++
 				continue
 			}
-			if t.State() == sim.Done && o.State() == sim.Done {
+			if done[cur] && done[other] {
 				res.Steps = globalStep
 				return res, nil
 			}
@@ -219,14 +289,22 @@ func ExecuteSteps(k *kernel.Kernel, cti CTI, sched Schedule, stepLimit int) (*Re
 				cti, threads[0].State(), threads[1].State())
 		}
 
+		// Drop hints that name finished threads: they can never fire.
+		for len(hints) > 0 && done[hints[0].Thread] {
+			hints = hints[1:]
+		}
+
 		ev, err := t.Step()
 		if err != nil {
 			return nil, fmt.Errorf("ski: executing %s: %w", cti, err)
 		}
 		// A runnable thread that could not progress (lock contention
 		// discovered during the step) forces a switch next iteration.
-		if t.State() == sim.BlockedOnLock {
+		switch t.State() {
+		case sim.BlockedOnLock:
 			continue
+		case sim.Done:
+			done[cur] = true
 		}
 		globalStep++
 
@@ -260,7 +338,7 @@ func ExecuteSteps(k *kernel.Kernel, cti CTI, sched Schedule, stepLimit int) (*Re
 		if len(hints) > 0 && hints[0].Thread == cur && hints[0].Ref == ev.Ref {
 			hints = hints[1:]
 			other := 1 - cur
-			if threads[other].State() != sim.Done {
+			if !done[other] {
 				cur = other
 				res.Switches++
 				res.HintsFired++

@@ -71,7 +71,9 @@ func TestKernelsBitEqualReference(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		n := 1 + rng.Intn(9)
 		k := 1 + rng.Intn(9)
-		p := 1 + rng.Intn(9)
+		// Cover the 8-column blocks of mulAddRow (multi-block, block+tail,
+		// tail-only) as well as the unroll remainders 1..3.
+		p := 1 + rng.Intn(27)
 
 		a := randMat(rng, n, k)
 		b := randMat(rng, k, p)
@@ -126,6 +128,43 @@ func TestKernelsBitEqualReference(t *testing.T) {
 		for i := range y1 {
 			if y1[i] != y2[i] {
 				t.Fatalf("trial %d: AXPY[%d] = %v, reference %v", trial, i, y1[i], y2[i])
+			}
+		}
+
+		// MulAddRowInto against the matrix kernel: scoring row i of a via
+		// the row-granular entry point must be bit-identical.
+		rowGot := randMat(rng, n, p)
+		rowWant := rowGot.Clone()
+		for i := 0; i < n; i++ {
+			MulAddRowInto(rowGot.Row(i), a.Row(i), b)
+		}
+		MulAddInto(rowWant, a, b)
+		for i, v := range rowGot.Data {
+			if v != rowWant.Data[i] {
+				t.Fatalf("trial %d: MulAddRowInto[%d] = %v, MulAddInto %v", trial, i, v, rowWant.Data[i])
+			}
+		}
+
+		// GatherScaledInto against a zeroed buffer accumulated by sequential
+		// AXPY calls — the GCN gather contract.
+		srcCount := rng.Intn(5)
+		srcs := make([]int32, srcCount)
+		for i := range srcs {
+			srcs[i] = int32(rng.Intn(n))
+		}
+		galpha := rng.Float64()*2 - 1
+		ggot := make([]float64, k)
+		for i := range ggot {
+			ggot[i] = rng.Float64() // overwritten: GatherScaledInto assigns
+		}
+		gwant := make([]float64, k)
+		for _, s := range srcs {
+			AXPY(galpha, a.Row(int(s)), gwant)
+		}
+		GatherScaledInto(ggot, galpha, a.Data, k, srcs)
+		for i := range ggot {
+			if ggot[i] != gwant[i] {
+				t.Fatalf("trial %d: GatherScaledInto[%d] = %v, reference %v", trial, i, ggot[i], gwant[i])
 			}
 		}
 

@@ -1,0 +1,145 @@
+// Int8 weight quantization for the inference fast path.
+//
+// A QMatrix stores a weight matrix as int8 codes with one float64 scale
+// per row: code = round(w / scale), scale = maxabs(row)/127. Matmuls
+// against a QMatrix dequantize on the fly — the accumulation stays in
+// float64, only the weight memory shrinks 8×. Quantization is lossy by
+// design, so the quantized kernels are opt-in (pic.Model.SetQuantized);
+// the float kernels remain the bit-identical reference path. The
+// per-element error of one dequantized weight is at most scale/2, which
+// the equivalence tests turn into an end-to-end output bound.
+package tensor
+
+import "math"
+
+// QMatrix is a row-major int8 matrix with per-row dequantization scales.
+type QMatrix struct {
+	Rows, Cols int
+	Scale      []float64 // len Rows: dequant(w[i][j]) = Scale[i] * Data[i*Cols+j]
+	Data       []int8
+}
+
+// Quantize converts m to int8 with symmetric per-row scales. An all-zero
+// row gets scale 0 (every code 0, dequantizing exactly to 0).
+func Quantize(m *Matrix) *QMatrix {
+	q := &QMatrix{
+		Rows:  m.Rows,
+		Cols:  m.Cols,
+		Scale: make([]float64, m.Rows),
+		Data:  make([]int8, m.Rows*m.Cols),
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / 127
+		q.Scale[i] = scale
+		out := q.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			c := math.Round(v / scale)
+			if c > 127 {
+				c = 127
+			} else if c < -127 {
+				c = -127
+			}
+			out[j] = int8(c)
+		}
+	}
+	return q
+}
+
+// Row returns the code row i.
+func (q *QMatrix) Row(i int) []int8 { return q.Data[i*q.Cols : (i+1)*q.Cols] }
+
+// Dequant expands the quantized matrix back to float64 — the reference
+// the quantized kernels are tested against.
+func (q *QMatrix) Dequant() *Matrix {
+	m := New(q.Rows, q.Cols)
+	for i := 0; i < q.Rows; i++ {
+		s := q.Scale[i]
+		row := q.Row(i)
+		out := m.Row(i)
+		for j, c := range row {
+			out[j] = s * float64(c)
+		}
+	}
+	return m
+}
+
+// MulAddQRowInto computes dst += a·dequant(q) for one coefficient row:
+// dst has length q.Cols, a has length q.Rows. Each nonzero coefficient
+// folds its row scale into the accumulate coefficient (alpha = a_k·scale_k),
+// so the inner loop converts one int8 code per multiply-accumulate and the
+// accumulation runs entirely in float64, in ascending-k order. The column
+// blocking mirrors the float mulAddRow: 8 scalar accumulators held across
+// the whole coefficient row, which keeps each dst element's chain identical
+// to a per-coefficient AXPY walk.
+func MulAddQRowInto(dst, a []float64, q *QMatrix) {
+	if len(a) != q.Rows || len(dst) != q.Cols {
+		panic("tensor: MulAddQRowInto shape mismatch")
+	}
+	p := q.Cols
+	scale := q.Scale
+	qd := q.Data
+	col := 0
+	for ; col+8 <= p; col += 8 {
+		dblk := dst[col : col+8 : col+8]
+		y0, y1, y2, y3 := dblk[0], dblk[1], dblk[2], dblk[3]
+		y4, y5, y6, y7 := dblk[4], dblk[5], dblk[6], dblk[7]
+		for k, aik := range a {
+			if aik == 0 {
+				continue
+			}
+			alpha := aik * scale[k]
+			if alpha == 0 {
+				continue
+			}
+			o := k*p + col
+			b := qd[o : o+8 : o+8]
+			y0 += alpha * float64(b[0])
+			y1 += alpha * float64(b[1])
+			y2 += alpha * float64(b[2])
+			y3 += alpha * float64(b[3])
+			y4 += alpha * float64(b[4])
+			y5 += alpha * float64(b[5])
+			y6 += alpha * float64(b[6])
+			y7 += alpha * float64(b[7])
+		}
+		dblk[0], dblk[1], dblk[2], dblk[3] = y0, y1, y2, y3
+		dblk[4], dblk[5], dblk[6], dblk[7] = y4, y5, y6, y7
+	}
+	if col < p {
+		tail := dst[col:p]
+		for k, aik := range a {
+			if aik == 0 {
+				continue
+			}
+			alpha := aik * scale[k]
+			if alpha == 0 {
+				continue
+			}
+			b := qd[k*p+col : k*p+p]
+			for j, v := range b {
+				tail[j] += alpha * float64(v)
+			}
+		}
+	}
+}
+
+// MulAddQInto computes dst += a·dequant(q), the quantized MulAddInto.
+func MulAddQInto(dst, a *Matrix, q *QMatrix) {
+	if a.Cols != q.Rows || dst.Rows != a.Rows || dst.Cols != q.Cols {
+		panic("tensor: MulAddQInto shape mismatch")
+	}
+	n, k2, p := a.Rows, a.Cols, q.Cols
+	for i := 0; i < n; i++ {
+		MulAddQRowInto(dst.Data[i*p:i*p+p], a.Data[i*k2:i*k2+k2], q)
+	}
+}

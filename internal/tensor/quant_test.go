@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"snowcat/internal/xrand"
+)
+
+// TestQuantizeErrorBound pins the per-element reconstruction guarantee:
+// |dequant(w) - w| <= scale/2 for every element (round-to-nearest within
+// a symmetric 127-step grid), and all-zero rows reconstruct exactly.
+func TestQuantizeErrorBound(t *testing.T) {
+	rng := xrand.New(7)
+	m := New(13, 9)
+	for i := range m.Data {
+		if rng.Intn(6) != 0 {
+			m.Data[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(5)-2))
+		}
+	}
+	for j := range m.Row(4) { // one exactly-zero row
+		m.Row(4)[j] = 0
+	}
+	q := Quantize(m)
+	d := q.Dequant()
+	for i := 0; i < m.Rows; i++ {
+		bound := q.Scale[i] / 2
+		for j := 0; j < m.Cols; j++ {
+			if err := math.Abs(d.At(i, j) - m.At(i, j)); err > bound+1e-18 {
+				t.Fatalf("element (%d,%d): error %g exceeds scale/2 = %g", i, j, err, bound)
+			}
+		}
+	}
+	if q.Scale[4] != 0 {
+		t.Fatalf("zero row got scale %g, want 0", q.Scale[4])
+	}
+}
+
+// TestQuantizedMatmulMatchesDequant pins the quantized kernels against the
+// reference: multiplying by a QMatrix must equal multiplying by its
+// explicit dequantization, up to float summation-order differences — the
+// kernels fold the scale into the coefficient (a·s)·c rather than
+// a·(s·c), so exact bit-equality is not promised, only a tight relative
+// bound.
+func TestQuantizedMatmulMatchesDequant(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(7)
+		k := 1 + rng.Intn(7)
+		p := 1 + rng.Intn(7)
+		a := randMat(rng, n, k)
+		w := randMat(rng, k, p)
+		q := Quantize(w)
+
+		got := randMat(rng, n, p)
+		want := got.Clone()
+		MulAddQInto(got, a, q)
+		MulAddInto(want, a, q.Dequant())
+		for i, v := range got.Data {
+			if diff := math.Abs(v - want.Data[i]); diff > 1e-12*(1+math.Abs(want.Data[i])) {
+				t.Fatalf("trial %d: MulAddQInto[%d] = %v, dequant reference %v", trial, i, v, want.Data[i])
+			}
+		}
+
+		// Row entry point consistency with the matrix entry point.
+		rgot := New(n, p)
+		for i := 0; i < n; i++ {
+			MulAddQRowInto(rgot.Row(i), a.Row(i), q)
+		}
+		rwant := New(n, p)
+		MulAddQInto(rwant, a, q)
+		for i, v := range rgot.Data {
+			if v != rwant.Data[i] {
+				t.Fatalf("trial %d: MulAddQRowInto[%d] = %v, MulAddQInto %v", trial, i, v, rwant.Data[i])
+			}
+		}
+	}
+}

@@ -133,10 +133,11 @@ func MulInto(dst, a, b *Matrix) {
 }
 
 // MulAddInto computes dst += a·b with the ikj loop order for cache
-// friendliness. The inner loop is the 4-way unrolled, bounds-check-free
-// axpyRow; every dst element still receives exactly one accumulate per k,
-// in ascending k order, so the result is bit-identical to the plain
-// triple loop.
+// friendliness. Each row of dst is produced by mulAddRow, which batches
+// the nonzero a-coefficients four at a time so a quad shares one pass
+// over the destination row; every dst element still receives exactly one
+// accumulate per k, in ascending k order, so the result is bit-identical
+// to the plain triple loop.
 func MulAddInto(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MulAddInto shape mismatch")
@@ -144,25 +145,82 @@ func MulAddInto(dst, a, b *Matrix) {
 	n, k2, p := a.Rows, a.Cols, b.Cols
 	ad, bd, dd := a.Data, b.Data, dst.Data
 	for i := 0; i < n; i++ {
-		arow := ad[i*k2 : i*k2+k2]
-		drow := dd[i*p : i*p+p]
-		// Pair up the nonzero a-coefficients so each pair shares one pass
-		// over drow (axpyRow2); the zero-skip and the ascending-k per-element
-		// accumulation order are exactly those of the unpaired loop.
-		pk := -1
+		mulAddRow(dd[i*p:i*p+p], ad[i*k2:i*k2+k2], bd, p)
+	}
+}
+
+// MulAddRowInto computes dst += a·b for a single coefficient row: dst has
+// length b.Cols, a has length b.Rows. It is the row-granular MulAddInto
+// the fused GCN aggregation uses (gather one destination row, multiply it
+// into the output immediately); the accumulation order per dst element is
+// identical to MulAddInto's, so using either is bit-neutral.
+func MulAddRowInto(dst, a []float64, b *Matrix) {
+	if len(a) != b.Rows || len(dst) != b.Cols {
+		panic("tensor: MulAddRowInto shape mismatch")
+	}
+	mulAddRow(dst, a, b.Data, b.Cols)
+}
+
+// mulAddRow computes drow += arow·B where B's rows are the p-wide slices
+// of bd. The destination is processed in 8-column register blocks, each
+// loaded once, accumulated across the whole coefficient row, and stored
+// once — one pass over B per block, sized so a block plus the streamed B
+// columns stay L1-resident. Per destination element the accumulates still
+// apply in ascending-k order with exact zeros skipped, matching the
+// reference triple loop bit for bit (element chains are independent, so
+// the column-block traversal order cannot change any sum).
+func mulAddRow(drow, arow []float64, bd []float64, p int) {
+	if p == 1 {
+		// Column-vector fast path (the prediction head): the destination is
+		// one element, so keep it in a register across the whole coefficient
+		// row. The accumulates still apply to y sequentially in ascending-k
+		// order with zeros skipped — the same chain as the general path.
+		y := drow[0]
+		bd = bd[:len(arow)]
 		for k, aik := range arow {
 			if aik == 0 {
 				continue
 			}
-			if pk < 0 {
-				pk = k
+			y += aik * bd[k]
+		}
+		drow[0] = y
+		return
+	}
+	col := 0
+	for ; col+8 <= p; col += 8 {
+		dblk := drow[col : col+8 : col+8]
+		// Eight scalar accumulators so the compiler keeps the destination
+		// block in registers across the whole coefficient row.
+		y0, y1, y2, y3 := dblk[0], dblk[1], dblk[2], dblk[3]
+		y4, y5, y6, y7 := dblk[4], dblk[5], dblk[6], dblk[7]
+		for k, aik := range arow {
+			if aik == 0 {
 				continue
 			}
-			axpyRow2(arow[pk], bd[pk*p:pk*p+p], aik, bd[k*p:k*p+p], drow)
-			pk = -1
+			o := k*p + col
+			b := bd[o : o+8 : o+8]
+			y0 += aik * b[0]
+			y1 += aik * b[1]
+			y2 += aik * b[2]
+			y3 += aik * b[3]
+			y4 += aik * b[4]
+			y5 += aik * b[5]
+			y6 += aik * b[6]
+			y7 += aik * b[7]
 		}
-		if pk >= 0 {
-			axpyRow(arow[pk], bd[pk*p:pk*p+p], drow)
+		dblk[0], dblk[1], dblk[2], dblk[3] = y0, y1, y2, y3
+		dblk[4], dblk[5], dblk[6], dblk[7] = y4, y5, y6, y7
+	}
+	if col < p {
+		tail := drow[col:p]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			b := bd[k*p+col : k*p+p]
+			for j, v := range b {
+				tail[j] += aik * v
+			}
 		}
 	}
 }
@@ -259,15 +317,60 @@ func MulABTAddInto(dst, a, b *Matrix) {
 	}
 }
 
+// GatherScaledInto overwrites dst with alpha-scaled rows of a row-major
+// matrix (data hd, row width dim) summed in srcs order:
+//
+//	dst = ((0 + alpha·row(srcs[0])) + alpha·row(srcs[1])) + …
+//
+// applied element-wise, exactly the chain a zeroed buffer accumulated by
+// sequential AXPY calls would produce — the GCN gather. The destination is
+// held in scalar register blocks across the whole source list, so each
+// gathered row costs one load-multiply-add sweep and dst is written once.
+func GatherScaledInto(dst []float64, alpha float64, hd []float64, dim int, srcs []int32) {
+	col := 0
+	for ; col+8 <= len(dst); col += 8 {
+		dblk := dst[col : col+8 : col+8]
+		var y0, y1, y2, y3, y4, y5, y6, y7 float64
+		for _, s := range srcs {
+			o := int(s)*dim + col
+			b := hd[o : o+8 : o+8]
+			y0 += alpha * b[0]
+			y1 += alpha * b[1]
+			y2 += alpha * b[2]
+			y3 += alpha * b[3]
+			y4 += alpha * b[4]
+			y5 += alpha * b[5]
+			y6 += alpha * b[6]
+			y7 += alpha * b[7]
+		}
+		dblk[0], dblk[1], dblk[2], dblk[3] = y0, y1, y2, y3
+		dblk[4], dblk[5], dblk[6], dblk[7] = y4, y5, y6, y7
+	}
+	if col < len(dst) {
+		tail := dst[col:]
+		for j := range tail {
+			tail[j] = 0
+		}
+		for _, s := range srcs {
+			o := int(s)*dim + col
+			b := hd[o : o+len(tail)]
+			for j, v := range b {
+				tail[j] += alpha * v
+			}
+		}
+	}
+}
+
 // ReLUInPlace applies max(0, x) elementwise and records the active mask in
 // mask (same shape), for use by the backward pass. A nil mask skips the
 // recording — the inference-only path, which has no backward pass.
 func (m *Matrix) ReLUInPlace(mask *Matrix) {
 	if mask == nil {
+		// Branchless: max(v, 0) matches the guarded store exactly — negatives
+		// and -0 become +0, +0 and NaN pass through — without a data-dependent
+		// branch that mispredicts on ~half the activations.
 		for i, v := range m.Data {
-			if v <= 0 {
-				m.Data[i] = 0
-			}
+			m.Data[i] = max(v, 0)
 		}
 		return
 	}
