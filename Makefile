@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve
+.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve bench-fleet
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ test: lint
 		./internal/explore ./internal/mlpct ./internal/campaign ./internal/razzer ./internal/snowboard
 	$(GO) test -race -run 'ZeroRate|Chaos|TestCampaignSurvivesFullFaultRate|TestReproduceSurvivesFullFaultRate|TestExploreRNilResilienceMatchesExplore|TestExploreRQuarantineGivesUp|TestExecutePlanQuarantine|TestWalkDegradesBuildPanic' \
 		./internal/explore ./internal/campaign ./internal/razzer ./internal/snowboard
-	$(GO) test -race ./internal/serve
+	$(GO) test -race ./internal/serve ./internal/fleet
 	$(GO) test -race -run 'TestTokenCacheConcurrentReaders|TestBaseContextConcurrentPredict' ./internal/pic
 	$(GO) test -race -run 'TestCompiledMatchesInterpreter|TestCompiledChaosParity' ./internal/ski
 	$(GO) test -race -run 'TestQuant|TestQGCN|TestFused|TestInferStacked' ./internal/nn ./internal/pic ./internal/tensor
@@ -85,14 +85,17 @@ bench-campaign:
 	rm -f bench_campaign.out
 	cat BENCH_campaign.json
 
-# Serving-layer benchmarks: end-to-end HTTP throughput and latency over
+# Serving-layer benchmarks: open-loop (Poisson-arrival) HTTP latency over
 # the batch-size x client-count grid, snapshotted to BENCH_serve.json.
-# One op is one graph. b.ReportMetric adds p50-us/p99-us columns, so the
-# fields are scanned pairwise instead of by position; the final entry
-# derives the coalescing speed-up (batch=8 vs batch=1 at 8 clients),
-# which the serving design targets at >= 2x.
+# The workload per row is fixed by the offered rate, so -benchtime is 1x;
+# b.ReportMetric adds throughput and client/server percentile columns and
+# the fields are scanned pairwise instead of by position. The first final
+# entry derives the coalescing throughput win (batch=8 vs batch=1 at 8
+# clients, >= 2x); the second pins the coalescer deadline fix — the
+# server-observed batch=32 p99 sits BELOW the batch=8 p99 at 8 clients
+# (ratio > 1), where it used to be 2.4x above.
 bench-serve:
-	$(GO) test -run xxx -bench 'BenchmarkServeHTTP' -benchtime 500x ./internal/serve | tee bench_serve.out
+	$(GO) test -run xxx -bench 'BenchmarkServeHTTP' -benchtime 1x ./internal/serve | tee bench_serve.out
 	awk 'BEGIN { print "[" } \
 		/^BenchmarkServeHTTP/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
 			printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $$2; \
@@ -103,9 +106,39 @@ bench-serve:
 			} \
 			printf "}"; sep=",\n" } \
 		END { \
-			b1 = val["BenchmarkServeHTTP/batch=1/clients=8|ns_op"]; \
-			b8 = val["BenchmarkServeHTTP/batch=8/clients=8|ns_op"]; \
-			if (b1 > 0 && b8 > 0) printf "%s  {\"name\": \"coalescing-speedup-8clients\", \"batch8_vs_batch1\": %.2f}", sep, b1 / b8; \
+			g1 = val["BenchmarkServeHTTP/batch=1/clients=8|graphs_per_sec"]; \
+			g8 = val["BenchmarkServeHTTP/batch=8/clients=8|graphs_per_sec"]; \
+			if (g1 > 0 && g8 > 0) printf "%s  {\"name\": \"coalescing-speedup-8clients\", \"batch8_vs_batch1\": %.2f}", sep, g8 / g1; \
+			p8 = val["BenchmarkServeHTTP/batch=8/clients=8|svr_p99_us"]; \
+			p32 = val["BenchmarkServeHTTP/batch=32/clients=8|svr_p99_us"]; \
+			if (p8 > 0 && p32 > 0) printf "%s  {\"name\": \"coalescer-tail-8clients\", \"svr_p99_batch8_over_batch32\": %.2f}", sep, p8 / p32; \
 			print "\n]" }' bench_serve.out > BENCH_serve.json
 	rm -f bench_serve.out
 	cat BENCH_serve.json
+
+# Fleet scaling curve: the same open-loop load (20k predicts/s offered,
+# 128 clients) against 1-, 2- and 4-shard fleets, snapshotted to
+# BENCH_fleet.json. The working set (32 CTIs, station capacity 20 per
+# shard) thrashes one shard's station and fits the 2- and 4-shard ring
+# partitions, so the final entry's aggregate-throughput scaling factor
+# (4 shards vs 1 at equal load, target >= 2.5x) measures the
+# cache-capacity effect of consistent-hash routing — the honest win on a
+# single-core host.
+bench-fleet:
+	$(GO) test -run xxx -bench 'BenchmarkFleetScaling' -benchtime 6000x ./internal/fleet | tee bench_fleet.out
+	awk 'BEGIN { print "[" } \
+		/^BenchmarkFleetScaling/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $$2; \
+			for (i = 3; i < NF; i += 2) { \
+				unit = $$(i+1); gsub(/[\/-]/, "_", unit); \
+				printf ", \"%s\": %s", unit, $$i; \
+				val[name "|" unit] = $$i; \
+			} \
+			printf "}"; sep=",\n" } \
+		END { \
+			s1 = val["BenchmarkFleetScaling/shards=1/clients=128|rps"]; \
+			s4 = val["BenchmarkFleetScaling/shards=4/clients=128|rps"]; \
+			if (s1 > 0 && s4 > 0) printf "%s  {\"name\": \"fleet-scaling-4v1\", \"rps_4shards_over_1shard\": %.2f}", sep, s4 / s1; \
+			print "\n]" }' bench_fleet.out > BENCH_fleet.json
+	rm -f bench_fleet.out
+	cat BENCH_fleet.json

@@ -42,6 +42,7 @@ func TestSharedFlagSets(t *testing.T) {
 		{"snowboard", cmdSnowboard, [][]string{parallel, chaos}},
 		{"serve", cmdServe, [][]string{parallel, serving, quantized}},
 		{"loadgen", cmdLoadgen, [][]string{parallel, serving, quantized}},
+		{"fleet", cmdFleet, [][]string{quantized}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -67,8 +68,35 @@ func TestCmdServeLoadgen(t *testing.T) {
 	if err := cmdLoadgen([]string{"-seed", "3", "-clients", "2", "-requests", "10", "-batch", "2"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdLoadgen([]string{"-seed", "3", "-clients", "2", "-requests", "20", "-batch", "2", "-rate", "400"}); err != nil {
+		t.Fatal(err)
+	}
 	if err := cmdLoadgen([]string{"-clients", "0"}); err == nil {
 		t.Fatal("non-positive -clients accepted")
+	}
+	if err := cmdLoadgen([]string{"-rate", "-1"}); err == nil {
+		t.Fatal("negative -rate accepted")
+	}
+}
+
+// TestCmdFleet drives the fleet CLI end to end: a 2-shard in-process fleet
+// under open-loop ring-routed HTTP traffic, once undisturbed (zero failed
+// requests required) and once with a mid-run shard kill/restart (recovery
+// verification required), plus the flag rejections.
+func TestCmdFleet(t *testing.T) {
+	if err := cmdFleet([]string{"-seed", "4", "-shards", "2", "-ctis", "6",
+		"-requests", "40", "-rate", "500", "-clients", "8", "-schedules", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFleet([]string{"-seed", "4", "-shards", "2", "-ctis", "6",
+		"-requests", "40", "-rate", "500", "-clients", "8", "-schedules", "1", "-kill", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFleet([]string{"-shards", "0"}); err == nil {
+		t.Fatal("non-positive -shards accepted")
+	}
+	if err := cmdFleet([]string{"-shards", "2", "-kill", "5"}); err == nil {
+		t.Fatal("-kill outside the fleet accepted")
 	}
 }
 

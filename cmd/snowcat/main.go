@@ -12,7 +12,9 @@
 //	razzer     — reproduce planted races with the Razzer variants (§5.6.1)
 //	snowboard  — compare cluster exemplar samplers (§5.6.2)
 //	serve      — run the batching prediction server (see internal/serve)
-//	loadgen    — drive load at a prediction server and report latency
+//	loadgen    — drive open- or closed-loop load at a prediction server
+//	fleet      — run an in-process sharded fleet under open-loop load
+//	             (ring-routed HTTP traffic, optional chaos kill/restart)
 //
 // Every subcommand is deterministic given its -seed flag.
 package main
@@ -45,6 +47,7 @@ func init() {
 		{"trace", "print an annotated interleaving timeline", cmdTrace},
 		{"serve", "run the batching prediction server (HTTP JSON API)", cmdServe},
 		{"loadgen", "drive load at a prediction server and report latency", cmdLoadgen},
+		{"fleet", "run an in-process sharded fleet under open-loop load", cmdFleet},
 	}
 }
 

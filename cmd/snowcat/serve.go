@@ -16,6 +16,7 @@ import (
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/fleet"
 	"snowcat/internal/kernel"
 	"snowcat/internal/pic"
 	"snowcat/internal/serve"
@@ -133,9 +134,10 @@ func cmdLoadgen(args []string) error {
 	addr := fs.String("addr", "", "server base URL, e.g. http://127.0.0.1:8334 (empty runs an in-process server)")
 	size := fs.String("size", "small", "kernel size preset (must match the server's)")
 	model := fs.String("model", "", "model file for the in-process server (empty uses an untrained model)")
-	clients := fs.Int("clients", 8, "concurrent load-generating clients")
+	clients := fs.Int("clients", 8, "concurrent load-generating client slots")
 	requests := fs.Int("requests", 200, "total requests across all clients")
 	batch := fs.Int("batch", 8, "graphs per request")
+	rate := fs.Float64("rate", 0, "offered requests/sec for open-loop Poisson arrivals (0 = closed-loop blast)")
 	mkConfig := serveFlags(fs)
 	quant := quantizedFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -144,7 +146,14 @@ func cmdLoadgen(args []string) error {
 	if *clients <= 0 || *requests <= 0 || *batch <= 0 {
 		return fmt.Errorf("-clients, -requests and -batch must be positive")
 	}
+	if *rate < 0 {
+		return fmt.Errorf("-rate must be non-negative")
+	}
 
+	// Keep a handle on the in-process server (when there is one) so the
+	// summary can report the server-observed latency histogram and the
+	// error/shed rates alongside the client-observed percentiles.
+	var inproc *serve.Server
 	base := *addr
 	if base == "" {
 		s, _, err := newServerFromFlags(*seed, *size, *model, *quant, mkConfig)
@@ -160,6 +169,7 @@ func cmdLoadgen(args []string) error {
 		go hs.Serve(ln)
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()
+		inproc = s
 		fmt.Printf("in-process server on %s\n", base)
 	}
 
@@ -167,26 +177,69 @@ func cmdLoadgen(args []string) error {
 	if err != nil {
 		return err
 	}
-	lats, failures := blast(base, body, *clients, *requests)
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		total := time.Duration(0)
-		for _, l := range lats {
-			total += l
+
+	var failures int
+	if *rate > 0 {
+		// Open loop: arrivals come from a seeded Poisson process and launch
+		// on schedule whether or not earlier requests finished, so the
+		// reported tail includes every queueing effect (see internal/fleet).
+		hc := &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: &http.Transport{MaxIdleConnsPerHost: *clients},
 		}
-		graphs := len(lats) * *batch
-		fmt.Printf("%d requests ok, %d failed (%d clients, batch %d)\n", len(lats), failures, *clients, *batch)
-		fmt.Printf("latency p50 %v  p99 %v  mean %v\n",
-			lats[len(lats)/2].Round(time.Microsecond),
-			lats[len(lats)*99/100].Round(time.Microsecond),
-			(total / time.Duration(len(lats))).Round(time.Microsecond))
-		fmt.Printf("throughput %.0f graphs/sec (aggregate)\n",
-			float64(graphs)/(total.Seconds()/float64(*clients)))
+		res, err := fleet.RunLoadgen(fleet.LoadgenConfig{
+			Rate: *rate, Requests: *requests, Clients: *clients, Seed: *seed,
+		}, 1, func(int) int { return 0 }, func(int) error {
+			if !postOnce(hc, base+"/v1/predict", body) {
+				return fmt.Errorf("request failed")
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		failures = res.Errors
+		fmt.Printf("open loop: offered %.0f req/s, achieved %.0f (%d clients, batch %d, %d requests, %d failed)\n",
+			res.OfferedRPS, res.AchievedRPS, *clients, *batch, res.Requests, res.Errors)
+		fmt.Printf("latency p50 %v  p90 %v  p99 %v  max %v\n",
+			res.Aggregate.P50.Round(time.Microsecond), res.Aggregate.P90.Round(time.Microsecond),
+			res.Aggregate.P99.Round(time.Microsecond), res.Aggregate.Max.Round(time.Microsecond))
+		fmt.Printf("throughput %.0f graphs/sec (aggregate)\n", res.AchievedRPS*float64(*batch))
+	} else {
+		var lats []time.Duration
+		lats, failures = blast(base, body, *clients, *requests)
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			total := time.Duration(0)
+			for _, l := range lats {
+				total += l
+			}
+			graphs := len(lats) * *batch
+			fmt.Printf("%d requests ok, %d failed (%d clients, batch %d)\n", len(lats), failures, *clients, *batch)
+			fmt.Printf("latency p50 %v  p90 %v  p99 %v  mean %v\n",
+				lats[len(lats)/2].Round(time.Microsecond),
+				lats[len(lats)*90/100].Round(time.Microsecond),
+				lats[len(lats)*99/100].Round(time.Microsecond),
+				(total / time.Duration(len(lats))).Round(time.Microsecond))
+			fmt.Printf("throughput %.0f graphs/sec (aggregate)\n",
+				float64(graphs)/(total.Seconds()/float64(*clients)))
+		}
+	}
+	if inproc != nil {
+		printServerStats(inproc.Stats())
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d requests failed", failures, *requests)
 	}
 	return nil
+}
+
+// printServerStats summarises the server-observed side of a load run: the
+// admission-to-reply latency histogram percentiles (which exclude the HTTP
+// client stack) and the error/shed rates.
+func printServerStats(st serve.StatsSnapshot) {
+	fmt.Printf("server: %d requests, mean batch %.1f, p50 %.0fµs p90 %.0fµs p99 %.0fµs, error rate %.4f, shed rate %.4f\n",
+		st.Requests, st.MeanBatch, st.LatencyP50US, st.LatencyP90US, st.LatencyP99US, st.ErrorRate, st.ShedRate)
 }
 
 // loadgenBody builds one /v1/predict body of `batch` real CT graphs from

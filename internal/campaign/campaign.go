@@ -9,22 +9,14 @@ package campaign
 
 import (
 	"errors"
-	"fmt"
-	"sort"
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/explore"
-	"snowcat/internal/faults"
 	"snowcat/internal/kernel"
 	"snowcat/internal/mlpct"
-	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
-	"snowcat/internal/race"
-	"snowcat/internal/ski"
 	"snowcat/internal/strategy"
-	"snowcat/internal/syz"
-	"snowcat/internal/xrand"
 )
 
 // ErrInvalidCost reports a cost model with a negative component, which
@@ -154,109 +146,27 @@ func NewRunner(k *kernel.Kernel) *Runner {
 //  4. results fold sequentially in canonical order into the cumulative
 //     race/block/bug sets and the simulated clock.
 func (r *Runner) Run(c Config) (*History, error) {
-	if c.NumCTIs <= 0 {
-		return nil, fmt.Errorf("%w: NumCTIs must be positive, got %d", ErrInvalidConfig, c.NumCTIs)
-	}
-	if err := c.Cost.Validate(); err != nil {
-		return nil, fmt.Errorf("campaign: %w", err)
-	}
-	workers := parallel.Workers(c.Parallel)
-	opts := c.Opts
-	if opts.Parallel <= 0 {
-		opts.Parallel = workers
-	}
-	exp := mlpct.NewExplorer(r.K, r.Builder, opts)
-	exp.Resilience = c.Resilience
-	if c.Pred != nil {
-		// MLPCT plans are built sequentially (the strategy's memory spans
-		// CTIs), so the walk-level hooks stay deterministic.
-		exp.Hooks = c.Hooks
-	}
-
 	// Phase 0: canonical stream.
-	gen := syz.NewGenerator(r.K, c.Seed)
-	rng := xrand.New(c.Seed ^ 0x5eed)
-	type ctiJob struct {
-		cti  ski.CTI
-		seed uint64 // per-CTI exploration seed
+	jobs, err := r.Stream(c)
+	if err != nil {
+		return nil, err
 	}
-	jobs := make([]ctiJob, c.NumCTIs)
-	for i := range jobs {
-		a, b := gen.Generate(), gen.Generate()
-		jobs[i] = ctiJob{cti: ski.CTI{ID: int64(i), A: a, B: b}, seed: rng.Uint64()}
-	}
+	exp := r.Explorer(c)
 
 	// Phase 1: STI profiling.
-	type profiles struct{ pa, pb *syz.Profile }
-	profs, err := parallel.Map(workers, c.NumCTIs, func(i int) (profiles, error) {
-		pa, err := syz.Run(r.K, jobs[i].cti.A)
-		if err != nil {
-			return profiles{}, err
-		}
-		pb, err := syz.Run(r.K, jobs[i].cti.B)
-		if err != nil {
-			return profiles{}, err
-		}
-		return profiles{pa: pa, pb: pb}, nil
-	})
+	profs, err := r.ProfileAll(jobs, c.Parallel)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 2: selection plans.
-	var plans []*mlpct.Plan
-	if c.Pred != nil {
-		plans = make([]*mlpct.Plan, c.NumCTIs)
-		for i := range jobs {
-			plans[i] = exp.PlanMLPCT(jobs[i].cti, profs[i].pa, profs[i].pb, jobs[i].seed, c.Pred, c.Strat)
-		}
-	} else {
-		plans, err = parallel.Map(workers, c.NumCTIs, func(i int) (*mlpct.Plan, error) {
-			return exp.PlanPCT(jobs[i].cti, profs[i].pa, profs[i].pb, jobs[i].seed), nil
-		})
-		if err != nil {
-			return nil, err
-		}
+	plans, err := r.PlanAll(c, exp, jobs, profs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Phase 3: dynamic executions, flattened across CTIs.
-	type execJob struct{ cti, sched int }
-	var flat []execJob
-	for i, p := range plans {
-		for j := range p.Scheds {
-			flat = append(flat, execJob{cti: i, sched: j})
-		}
-	}
-	type execResult struct {
-		res   *ski.Result
-		races []race.Race
-		rep   faults.Report // resilient campaigns only
-	}
-	var execs []execResult
-	if c.Resilience != nil {
-		// Executions run through the fault injector and retry loop; race
-		// detection still fans out here, on the successful results. Fault
-		// decisions are pure per-attempt hashes, so the reports — like the
-		// fold below — are identical at every worker count.
-		execs, err = parallel.Map(workers, len(flat), func(k int) (execResult, error) {
-			j := flat[k]
-			rep := c.Resilience.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
-			e := execResult{res: rep.Res, rep: rep}
-			if rep.Err == nil {
-				e.races = race.Detect(rep.Res)
-			}
-			return e, nil
-		})
-	} else {
-		execs, err = parallel.Map(workers, len(flat), func(k int) (execResult, error) {
-			j := flat[k]
-			res, err := ski.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
-			if err != nil {
-				return execResult{}, err
-			}
-			return execResult{res: res, races: race.Detect(res)}, nil
-		})
-	}
+	execs, err := r.ExecuteAll(c, plans)
 	if err != nil {
 		return nil, err
 	}
@@ -265,100 +175,11 @@ func (r *Runner) Run(c Config) (*History, error) {
 	// authority: start-up is charged up front and each CTI settles its
 	// executions and inferences as one charge, reproducing the historical
 	// clock arithmetic bit for bit.
-	hist := &History{
-		Name:      c.Name,
-		Points:    make([]Point, 0, c.NumCTIs),
-		BugsFound: make(map[int32]bool),
-	}
-	races := race.NewSet()
-	blocks := make(map[int32]bool, r.K.NumBlocks())
-	led := explore.NewLedger(c.Cost)
-	led.ChargeStartup()
-	k := 0
+	fold := NewFold(c)
 	for i, p := range plans {
-		pa, pb := profs[i].pa, profs[i].pb
-		fold := func(j int, e execResult) {
-			races.Add(e.races)
-			for id, cov := range e.res.Covered {
-				if cov && !pa.Covered[id] && !pb.Covered[id] {
-					blocks[int32(id)] = true
-				}
-			}
-			for _, bug := range e.res.BugsHit {
-				hist.BugsFound[bug] = true
-			}
-			c.Hooks.ScheduleExecutedHook(explore.Candidate{
-				Seq: j, CTI: p.CTI, Sched: p.Scheds[j],
-			}, e.res)
-		}
-		if c.Resilience == nil {
-			for j := range p.Scheds {
-				fold(j, execs[k])
-				k++
-			}
-			led.Propose(p.Proposed)
-			led.Charge(len(p.Scheds), p.Inferences)
-		} else {
-			// Resilient settle: quarantined candidates skip uncharged, the
-			// CTI's surviving attempts and inferences are charged as one
-			// expression — bit-identical to the legacy clock arithmetic
-			// when no fault ever fires — and backoff/penalty seconds ride
-			// on top only when non-zero.
-			attempts, retries := 0, 0
-			extra := 0.0
-			for j := range p.Scheds {
-				e := execs[k]
-				k++
-				cand := explore.Candidate{Seq: j, CTI: p.CTI, Sched: p.Scheds[j]}
-				if c.Resilience.Quarantined(p.CTI.ID) {
-					led.RecordSkips(1)
-					c.Hooks.CandidateSkippedHook(cand, faults.ErrQuarantined)
-					continue
-				}
-				attempts += e.rep.Attempts
-				retries += e.rep.Attempts - 1
-				extra += e.rep.BackoffSeconds + e.rep.PenaltySeconds
-				if e.rep.Attempts > 1 {
-					c.Hooks.ExecRetriedHook(cand, e.rep.Attempts-1)
-				}
-				if e.rep.Err != nil {
-					led.RecordSkips(1)
-					c.Hooks.CandidateSkippedHook(cand, e.rep.Err)
-					if c.Resilience.NoteFailure(p.CTI.ID) {
-						led.RecordQuarantines(1)
-						c.Hooks.CTIQuarantinedHook(p.CTI)
-					}
-					continue
-				}
-				fold(j, e)
-			}
-			led.RecordRetries(retries)
-			led.Propose(p.Proposed)
-			led.Charge(attempts, p.Inferences)
-			if extra != 0 {
-				led.ChargeSeconds(extra)
-			}
-		}
-		hist.CTIs++
-
-		hist.Points = append(hist.Points, Point{
-			Hours:  led.Hours(),
-			Races:  races.Size(),
-			Blocks: len(blocks),
-		})
+		fold.SettleCTI(c, p, profs[i], execs[i])
 	}
-	hist.TotalExecs = led.Execs()
-	hist.TotalInfers = led.Inferences()
-	hist.Retries = led.Retries()
-	hist.Skipped = led.Skipped()
-	hist.Quarantined = led.Quarantined()
-	// The per-CTI clock charges are non-negative (Validate), so Points are
-	// already in clock order; the stable sort is a guard that keeps the
-	// invariant explicit for future cost models.
-	sort.SliceStable(hist.Points, func(i, j int) bool { return hist.Points[i].Hours < hist.Points[j].Hours })
-	hist.FinalRaces = races.Size()
-	hist.FinalBlocks = len(blocks)
-	return hist, nil
+	return fold.Finish(), nil
 }
 
 // FilterModel is the §A.6 analytic model of a rejection filter: candidates

@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/explore"
+	"snowcat/internal/strategy"
+)
+
+// ErrNoCheckpoint reports a resume from a path with no checkpoint file —
+// the fresh-campaign case, not a failure.
+var ErrNoCheckpoint = errors.New("fleet: no checkpoint")
+
+// checkpointMagic versions the on-disk format; bump on layout changes so
+// a stale file fails loudly instead of restoring garbage.
+const checkpointMagic = "snowcat-fleet-checkpoint-v1"
+
+// Checkpoint is the complete durable state of a fleet campaign between
+// rounds: enough to resume after a coordinator crash — or a shard loss
+// taking the coordinator with it — and finish with the exact history an
+// uninterrupted run produces. The campaign identity fields guard against
+// resuming someone else's file; the state fields are the round-boundary
+// snapshots of the three stateful pieces of a campaign (fold, strategy
+// memory, quarantine memory). Everything else — the CTI stream, the
+// plans, the shard caches — is recomputed, because it is a pure function
+// of the config (or, for caches, only affects latency).
+type Checkpoint struct {
+	Magic     string
+	Name      string
+	Seed      uint64
+	NumCTIs   int
+	RoundSize int
+	// NextRound is the first unsettled round.
+	NextRound int
+	Fold      campaign.FoldState
+	// Strategy is nil for campaigns without one (plain PCT).
+	Strategy *strategy.State
+	// Resilience is nil for non-resilient campaigns.
+	Resilience *explore.ResilienceState
+}
+
+// SaveCheckpoint atomically writes ck to path: a temp file in the same
+// directory, synced, then renamed over the target — a crash mid-save
+// leaves the previous checkpoint intact.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	ck.Magic = checkpointMagic
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(ck); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: checkpoint encode: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fleet: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fleet: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fleet: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint; ErrNoCheckpoint when the file does
+// not exist.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w at %s", ErrNoCheckpoint, path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint decode: %w", err)
+	}
+	if ck.Magic != checkpointMagic {
+		return nil, fmt.Errorf("fleet: checkpoint magic %q, want %q", ck.Magic, checkpointMagic)
+	}
+	return &ck, nil
+}

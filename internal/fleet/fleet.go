@@ -1,0 +1,308 @@
+// Package fleet runs the prediction service as a sharded fleet: N serve
+// servers, each owning a consistent-hash partition of the CTI space, a
+// deterministic fan-out coordinator that drives campaigns over them, and
+// an open-loop load generator for measuring the fleet under traffic.
+//
+// The design splits responsibilities so the determinism story stays
+// structural rather than lucky:
+//
+//   - the Ring (internal/serve) is a pure function of the shard count, so
+//     every client routes a CTI to the same shard forever — each shard's
+//     CTI station and BaseContext LRU stay hot for a stable partition;
+//   - shards serve predictions only; profiling for planning, dynamic
+//     executions and the result fold stay on the coordinator, whose
+//     sequential fold is the campaign's canonical spine;
+//   - predictions are bit-identical to the in-process model at any batch
+//     composition (the serve coalescer's contract), so a fleet campaign's
+//     History is DeepEqual to the single-process run at any shard count.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
+	"snowcat/internal/pic"
+	"snowcat/internal/predictor"
+	"snowcat/internal/serve"
+)
+
+// Config sizes a fleet.
+type Config struct {
+	// Shards is the fleet size; must be positive.
+	Shards int
+	// Replicas is the ring's virtual-node count per shard;
+	// <= 0 selects serve.DefaultReplicas.
+	Replicas int
+	// StationSize bounds each shard's CTI station LRU; <= 0 selects 64.
+	StationSize int
+	// CacheSize bounds each shard's BaseContext LRU; <= 0 selects 64.
+	CacheSize int
+	// MaxBatch/MaxWait tune each shard's coalescer; zero values select the
+	// serve defaults.
+	MaxBatch int
+	MaxWait  time.Duration
+	// Sync runs each shard's server in deterministic synchronous mode.
+	Sync bool
+}
+
+// Fleet is an in-process shard group: one serve.Server per shard, all
+// serving the same model, plus the ring that partitions the CTI space
+// across them. Kill and Restart simulate shard loss and recovery — a
+// restarted shard starts cold (empty station and context caches) but
+// scores identically, which is what the coordinator's retry leans on.
+type Fleet struct {
+	k     *kernel.Kernel
+	model *pic.Model
+	tc    *pic.TokenCache
+	cfg   Config
+	ring  *serve.Ring
+
+	mu     sync.Mutex
+	shards []*serve.Server // nil while a shard is down
+}
+
+// New starts a fleet of cfg.Shards shards serving the given model.
+func New(k *kernel.Kernel, model *pic.Model, tc *pic.TokenCache, cfg Config) (*Fleet, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("fleet: shard count must be positive, got %d", cfg.Shards)
+	}
+	f := &Fleet{
+		k: k, model: model, tc: tc, cfg: cfg,
+		ring:   serve.NewRing(cfg.Shards, cfg.Replicas),
+		shards: make([]*serve.Server, cfg.Shards),
+	}
+	for i := range f.shards {
+		s, err := f.newShard()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.shards[i] = s
+	}
+	return f, nil
+}
+
+// newShard boots one shard server with its own registry (hot-swaps are
+// per-shard) over the shared read-only model weights.
+func (f *Fleet) newShard() (*serve.Server, error) {
+	reg := serve.NewRegistry()
+	if err := reg.Load("v1", f.model, f.tc); err != nil {
+		return nil, fmt.Errorf("fleet: shard registry: %w", err)
+	}
+	if _, err := reg.Activate("v1"); err != nil {
+		return nil, fmt.Errorf("fleet: shard registry: %w", err)
+	}
+	return serve.New(reg, serve.Config{
+		Kernel:      f.k,
+		StationSize: f.cfg.StationSize,
+		CacheSize:   f.cfg.CacheSize,
+		MaxBatch:    f.cfg.MaxBatch,
+		MaxWait:     f.cfg.MaxWait,
+		Sync:        f.cfg.Sync,
+	}), nil
+}
+
+// Ring returns the fleet's routing table.
+func (f *Fleet) Ring() *serve.Ring { return f.ring }
+
+// Shards returns the fleet size (including down shards).
+func (f *Fleet) Shards() int { return f.ring.Shards() }
+
+// Server returns shard i's server, or nil while it is down.
+func (f *Fleet) Server(i int) *serve.Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards[i]
+}
+
+// Kill takes shard i down: its server closes (draining admitted requests)
+// and all its cached CTI state is lost. Requests routed to it fail with
+// ShardDownError until Restart.
+func (f *Fleet) Kill(i int) {
+	f.mu.Lock()
+	s := f.shards[i]
+	f.shards[i] = nil
+	f.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// Restart brings shard i back with a fresh server — cold caches, same
+// model, same ring position. A no-op if the shard is already up.
+func (f *Fleet) Restart(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shards[i] != nil {
+		return nil
+	}
+	s, err := f.newShard()
+	if err != nil {
+		return err
+	}
+	f.shards[i] = s
+	return nil
+}
+
+// Close shuts every live shard down.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	shards := append([]*serve.Server(nil), f.shards...)
+	for i := range f.shards {
+		f.shards[i] = nil
+	}
+	f.mu.Unlock()
+	for _, s := range shards {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// Stats snapshots every live shard's counters; down shards yield a zero
+// snapshot.
+func (f *Fleet) Stats() []serve.StatsSnapshot {
+	out := make([]serve.StatsSnapshot, f.Shards())
+	for i := range out {
+		if s := f.Server(i); s != nil {
+			out[i] = s.Stats()
+		}
+	}
+	return out
+}
+
+// ShardDownError reports a request routed to a killed shard. The fleet
+// client panics with it (the Predictor interface has no error channel);
+// the coordinator recovers it and turns it into restart-and-retry.
+type ShardDownError struct {
+	Shard int
+}
+
+func (e ShardDownError) Error() string {
+	return fmt.Sprintf("fleet: shard %d is down", e.Shard)
+}
+
+// Client is the fleet's predictor.Predictor: scoring requests route to the
+// shard owning the graph's CTI, so each shard only ever sees its ring
+// partition and its caches stay hot. Scores are bit-identical to the
+// in-process model at any shard count.
+type Client struct {
+	f *Fleet
+	// Label is the predictor name in reports; empty selects "fleet(N)".
+	Label string
+}
+
+var (
+	_ predictor.Predictor   = (*Client)(nil)
+	_ predictor.BatchScorer = (*Client)(nil)
+	_ predictor.CTIScorer   = (*Client)(nil)
+)
+
+// Client returns a routing client over the fleet.
+func (f *Fleet) Client(label string) *Client { return &Client{f: f, Label: label} }
+
+// shardFor routes a graph: by its base's CTI when it has one, shard 0
+// otherwise (baseless wire graphs carry no identity to route by).
+func (c *Client) shardFor(g *ctgraph.Graph) int {
+	if b := g.BaseOf(); b != nil {
+		return c.f.ring.Shard(b.CTI.ID)
+	}
+	return 0
+}
+
+// server returns shard i's live server or panics with ShardDownError.
+func (c *Client) server(i int) *serve.Server {
+	s := c.f.Server(i)
+	if s == nil {
+		panic(ShardDownError{Shard: i})
+	}
+	return s
+}
+
+// Score implements predictor.Predictor via a one-graph request to the
+// owning shard.
+func (c *Client) Score(g *ctgraph.Graph) []float64 {
+	return c.scoreShard(c.shardFor(g), []*ctgraph.Graph{g})[0]
+}
+
+// ScoreBatch implements predictor.BatchScorer. Graphs partition by owning
+// shard, preserving order within each shard's request, and the results
+// reassemble index-aligned with gs — per-graph scores are unchanged by
+// the partitioning (the coalescer's batch-composition contract).
+func (c *Client) ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64 {
+	if len(gs) == 0 {
+		return nil
+	}
+	parts := make(map[int][]int) // shard -> indices into gs, ascending
+	order := make([]int, 0, 4)   // shards in first-seen order
+	for i, g := range gs {
+		s := c.shardFor(g)
+		if _, ok := parts[s]; !ok {
+			order = append(order, s)
+		}
+		parts[s] = append(parts[s], i)
+	}
+	out := make([][]float64, len(gs))
+	for _, s := range order {
+		idx := parts[s]
+		sub := make([]*ctgraph.Graph, len(idx))
+		for j, i := range idx {
+			sub[j] = gs[i]
+		}
+		for j, scores := range c.scoreShard(s, sub) {
+			out[idx[j]] = scores
+		}
+	}
+	return out
+}
+
+func (c *Client) scoreShard(shard int, gs []*ctgraph.Graph) [][]float64 {
+	s := c.server(shard)
+	resp, err := s.Predict(context.Background(), &serve.Request{Graphs: gs, Wait: true})
+	if err != nil {
+		// A shard killed mid-request surfaces serve.ErrClosed; map it to
+		// the typed shard-down panic the coordinator recovers.
+		panic(ShardDownError{Shard: shard})
+	}
+	return resp.Scores
+}
+
+// Threshold implements predictor.Predictor from the first live shard's
+// active model (all shards serve the same weights).
+func (c *Client) Threshold() float64 {
+	for i := 0; i < c.f.Shards(); i++ {
+		if s := c.f.Server(i); s != nil {
+			if snap := s.Registry().Active(); snap != nil {
+				return snap.Model.Threshold
+			}
+		}
+	}
+	panic("fleet: no live shard with an active model")
+}
+
+// Name implements predictor.Predictor.
+func (c *Client) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return fmt.Sprintf("fleet(%d)", c.f.Shards())
+}
+
+// BeginCTI implements predictor.CTIScorer by priming the owning shard's
+// BaseContext cache, the per-CTI amortisation bracket.
+func (c *Client) BeginCTI(base *ctgraph.Base) {
+	if base == nil {
+		return
+	}
+	s := c.server(c.f.ring.Shard(base.CTI.ID))
+	if snap := s.Registry().Active(); snap != nil {
+		s.Cache().Get(snap, base)
+	}
+}
+
+// EndCTI implements predictor.CTIScorer; eviction is the LRU's job.
+func (c *Client) EndCTI() {}

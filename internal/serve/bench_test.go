@@ -1,4 +1,7 @@
-package serve
+// Serving benchmarks live in the external test package so they can drive
+// the server with the fleet package's open-loop load generator (fleet
+// imports serve, so the internal test package would cycle).
+package serve_test
 
 import (
 	"bytes"
@@ -7,74 +10,100 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/fleet"
 	"snowcat/internal/kernel"
 	"snowcat/internal/pic"
+	"snowcat/internal/serve"
 )
 
-// newBenchServer builds the serving benchmark rig: a single-layer Dim-6
+// The serving benchmark is open-loop: arrivals are drawn from a Poisson
+// process and launched on schedule whether or not earlier requests have
+// finished, so the measured tail includes every queueing effect — a
+// closed loop would let a slow server throttle its own offered load and
+// hide exactly the coalescer-hold pathology this grid exists to expose.
+//
+// Offered load is fixed per client slot (benchReqRate requests/s each),
+// so rows with the same clients compare at equal request load — and
+// equal sample budget per second of wall-clock — while the batch axis
+// changes how many graphs ride in one request. Utilisation stays
+// low, which is the regime where the old coalescer's cliff was purely
+// self-inflicted: an underfull batch was held for the full MaxWait
+// window. After the deadline/adaptive-cap fix, a 32-graph request fills
+// the batch (and would meet the adaptive cap on a slower model) and
+// flushes immediately, while 8-graph requests still pay (most of) the
+// hold — which is why the batch=32 p99 now sits *below* the batch=8 p99
+// in BENCH_serve.json.
+const (
+	benchMaxWait = 2 * time.Millisecond
+	benchReqRate = 25.0 // offered requests/s per client slot
+)
+
+// benchModel builds the serving benchmark model: a single-layer Dim-6
 // model and 10-vertex graphs put per-graph inference in the ~10µs range,
 // the paper's inference-bound serving regime — the fixed per-request cost
-// (TCP, HTTP framing, JSON, queue hand-off) dominates, and is exactly what
-// request batching and the coalescer amortise. Real campaign graphs
-// (~170µs each on this fixture's kernel) would hide the serving layer
-// behind model cost.
-func newBenchServer(b *testing.B) *Server {
+// (TCP, HTTP framing, JSON, queue hand-off) and the coalescer's hold
+// policy dominate, and are exactly what batching and the adaptive cap
+// trade against.
+func benchModel(b *testing.B) (*kernel.Kernel, *pic.Model, *pic.TokenCache) {
 	b.Helper()
 	k := kernel.Generate(kernel.SmallConfig(5001))
 	m := pic.New(pic.Config{Dim: 6, Layers: 1, Seed: 5002})
-	tc := pic.NewTokenCache(k, m.Vocab)
-	reg := NewRegistry()
+	return k, m, pic.NewTokenCache(k, m.Vocab)
+}
+
+// newBenchServer boots a fresh server per grid row, so the server-side
+// latency histogram covers exactly that row's requests.
+func newBenchServer(b *testing.B, m *pic.Model, tc *pic.TokenCache) *serve.Server {
+	b.Helper()
+	reg := serve.NewRegistry()
 	if err := reg.Load("bench", m, tc); err != nil {
 		b.Fatal(err)
 	}
 	if _, err := reg.Activate("bench"); err != nil {
 		b.Fatal(err)
 	}
-	s := New(reg, Config{MaxBatch: 64, MaxWait: 200 * time.Microsecond, Workers: 1, QueueDepth: 1024})
+	s := serve.New(reg, serve.Config{MaxBatch: 32, MaxWait: benchMaxWait, Workers: 1, QueueDepth: 4096})
 	b.Cleanup(func() { s.Close() })
 	return s
 }
 
 // benchGraph synthesises a small valid wire graph over the bench kernel.
-func benchGraph(i, numBlocks int) WireGraph {
+func benchGraph(i, numBlocks int) serve.WireGraph {
 	const nv = 10
-	w := WireGraph{HintFrac: []float64{0.25, 0.75}}
+	w := serve.WireGraph{HintFrac: []float64{0.25, 0.75}}
 	for v := 0; v < nv; v++ {
-		w.Vertices = append(w.Vertices, WireVertex{
+		w.Vertices = append(w.Vertices, serve.WireVertex{
 			Block: int32((i*nv + v*7) % numBlocks),
 			Type:  uint8(v % int(ctgraph.NumVertexTypes)),
 		})
 	}
 	for v := 1; v < nv; v++ {
-		w.Edges = append(w.Edges, WireEdge{From: int32(v - 1), To: int32(v), Type: uint8(v % int(ctgraph.NumEdgeTypes))})
+		w.Edges = append(w.Edges, serve.WireEdge{From: int32(v - 1), To: int32(v), Type: uint8(v % int(ctgraph.NumEdgeTypes))})
 	}
-	w.Hints = []WireHint{
+	w.Hints = []serve.WireHint{
 		{Thread: 0, Block: w.Vertices[2].Block, Idx: 0},
 		{Thread: 1, Block: w.Vertices[5].Block, Idx: 1},
 	}
 	return w
 }
 
-// BenchmarkServeHTTP measures end-to-end served throughput over real HTTP
-// at batch sizes {1,8,32} (graphs per request) and client counts {1,8}.
-// One op is one graph, so ns/op across configurations compares directly;
-// p50-us/p99-us report per-request latency. `make bench-serve` captures
-// the grid in BENCH_serve.json and derives the coalescing speed-up
-// (batch=8 vs batch=1 at 8 clients).
+// BenchmarkServeHTTP measures served latency over real HTTP under
+// open-loop Poisson load at batch sizes {1,8,32} (graphs per request)
+// and client-slot counts {1,8}. One op is one graph. `make bench-serve`
+// captures the grid in BENCH_serve.json and derives the tail-latency
+// ratio the coalescer fix targets (batch=8 p99 over batch=32 p99 at 8
+// clients, > 1 after the fix).
 func BenchmarkServeHTTP(b *testing.B) {
-	s := newBenchServer(b)
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
-	numBlocks := s.Registry().NumBlocks()
+	k, m, tc := benchModel(b)
+	numBlocks := k.NumBlocks()
 
 	for _, batch := range []int{1, 8, 32} {
-		var req PredictRequest
+		var req serve.PredictRequest
 		for i := 0; i < batch; i++ {
 			req.Graphs = append(req.Graphs, benchGraph(i, numBlocks))
 		}
@@ -84,55 +113,87 @@ func BenchmarkServeHTTP(b *testing.B) {
 		}
 		for _, clients := range []int{1, 8} {
 			b.Run(fmt.Sprintf("batch=%d/clients=%d", batch, clients), func(b *testing.B) {
-				benchServe(b, ts, body, batch, clients)
+				s := newBenchServer(b, m, tc)
+				ts := httptest.NewServer(s.Handler())
+				defer ts.Close()
+				benchServeOpenLoop(b, s, ts, body, batch, clients)
 			})
 		}
 	}
 }
 
-// benchServe drives b.N graphs through the server split across `clients`
-// concurrent connections sending `batch` graphs per request.
-func benchServe(b *testing.B, ts *httptest.Server, body []byte, batch, clients int) {
-	requests := (b.N + batch - 1) / batch
-	perClient := (requests + clients - 1) / clients
-
-	lats := make([][]time.Duration, clients)
-	var wg sync.WaitGroup
-	b.ResetTimer()
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			client := &http.Client{}
-			lats[c] = make([]time.Duration, 0, perClient)
-			for r := 0; r < perClient; r++ {
-				start := time.Now()
-				resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
-				if err != nil {
-					b.Errorf("client %d: %v", c, err)
-					return
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					b.Errorf("client %d: status %d", c, resp.StatusCode)
-					return
-				}
-				lats[c] = append(lats[c], time.Since(start))
-			}
-		}(c)
+// benchServeOpenLoop fires requests of `batch` graphs at Poisson
+// arrivals totalling benchReqRate*clients requests/s, with `clients`
+// concurrently outstanding request slots.
+func benchServeOpenLoop(b *testing.B, s *serve.Server, ts *httptest.Server, body []byte, batch, clients int) {
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	post := func() error {
+		resp, err := hc.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
 	}
-	wg.Wait()
-	b.StopTimer()
+	// Prime the dispatcher's scoring EWMA (a cold server has no per-graph
+	// estimate, so the adaptive cap starts inert) and open one warm TCP
+	// connection per client slot so connection setup never lands in the
+	// tail of a sparse row.
+	var prime sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		prime.Add(1)
+		go func() {
+			defer prime.Done()
+			if err := post(); err != nil {
+				b.Error(err)
+			}
+		}()
+	}
+	prime.Wait()
 	if b.Failed() {
 		return
 	}
 
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
+	// The workload is fixed by wall-clock budget, not b.N: the offered
+	// rate is pinned, so sample count is rate × budget — rows with more
+	// client slots earn more samples. Run with -benchtime 1x; ns/op is
+	// not meaningful open-loop (latency and throughput are in the
+	// reported metrics).
+	rate := benchReqRate * float64(clients)
+	requests := int(rate * 10)
+	if requests < 300 {
+		requests = 300
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	b.ReportMetric(float64(all[len(all)/2])/1e3, "p50-us")
-	b.ReportMetric(float64(all[len(all)*99/100])/1e3, "p99-us")
+	b.ResetTimer()
+	res, err := fleet.RunLoadgen(fleet.LoadgenConfig{
+		Rate:     rate,
+		Requests: requests,
+		Clients:  clients,
+		Seed:     42,
+	}, 1, func(int) int { return 0 }, func(int) error { return post() })
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Errors > 0 {
+		b.Fatalf("%d of %d requests failed", res.Errors, res.Requests)
+	}
+	b.ReportMetric(res.AchievedRPS*float64(batch), "graphs-per-sec")
+	b.ReportMetric(float64(res.Aggregate.P50)/1e3, "p50-us")
+	b.ReportMetric(float64(res.Aggregate.P90)/1e3, "p90-us")
+	b.ReportMetric(float64(res.Aggregate.P99)/1e3, "p99-us")
+
+	// Server-observed latency (admission to reply: queue + coalescer hold
+	// + scoring) is the coalescer-policy signal proper — it excludes the
+	// HTTP client stack and the load generator's own scheduling, both of
+	// which pick up multi-millisecond stalls from neighbours on a shared
+	// box. The BENCH_serve.json criterion (batch=32 p99 below batch=8 p99
+	// at 8 clients) is pinned on these.
+	st := s.Stats()
+	b.ReportMetric(st.LatencyP50US, "svr-p50-us")
+	b.ReportMetric(st.LatencyP99US, "svr-p99-us")
 }

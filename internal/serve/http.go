@@ -182,13 +182,16 @@ func DecodeRequest(data []byte, numBlocks int) (*PredictRequest, error) {
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/predict — score CT graphs (PredictRequest → PredictResponse)
-//	GET  /v1/models  — list registered model versions
-//	GET  /healthz    — liveness + active model
-//	GET  /statsz     — ledger-style serving counters
+//	POST /v1/predict     — score CT graphs (PredictRequest → PredictResponse)
+//	POST /v1/predict_cti — score raw (CTI, schedules); the shard profiles
+//	                       and builds the graphs itself (PredictCTIRequest)
+//	GET  /v1/models      — list registered model versions
+//	GET  /healthz        — liveness + active model
+//	GET  /statsz         — ledger-style serving counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/predict_cti", s.handlePredictCTI)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// WireCall is one syscall of an STI program on the wire.
+type WireCall struct {
+	Syscall int32   `json:"syscall"`
+	Args    []int64 `json:"args,omitempty"`
+}
+
+// WireSTI is one single-thread test program.
+type WireSTI struct {
+	ID    int64      `json:"id"`
+	Calls []WireCall `json:"calls"`
+}
+
+// WireCTI is a concurrent test input: two STI programs run in parallel.
+type WireCTI struct {
+	ID int64   `json:"id"`
+	A  WireSTI `json:"a"`
+	B  WireSTI `json:"b"`
+}
+
+// WireIRQHint is one interrupt injection of a candidate schedule.
+type WireIRQHint struct {
+	Thread int32 `json:"thread"`
+	Block  int32 `json:"block"`
+	Idx    int32 `json:"idx"`
+	IRQ    int32 `json:"irq"`
+}
+
+// WireSchedule is one candidate interleaving of the CTI.
+type WireSchedule struct {
+	Hints []WireHint    `json:"hints,omitempty"`
+	IRQs  []WireIRQHint `json:"irqs,omitempty"`
+}
+
+// PredictCTIRequest is the /v1/predict_cti body: a raw CTI plus candidate
+// schedules. Unlike /v1/predict the client ships no graphs — the shard
+// profiles the STIs and builds the base graph itself (once, LRU-cached in
+// its CTIStation), which is what makes consistent-hash routing pay off.
+type PredictCTIRequest struct {
+	Model      string         `json:"model,omitempty"`
+	DeadlineMS int64          `json:"deadline_ms,omitempty"`
+	CTI        WireCTI        `json:"cti"`
+	Schedules  []WireSchedule `json:"schedules"`
+}
+
+// EncodeCTI converts a CTI to its wire form.
+func EncodeCTI(cti ski.CTI) WireCTI {
+	return WireCTI{ID: cti.ID, A: encodeSTI(cti.A), B: encodeSTI(cti.B)}
+}
+
+func encodeSTI(s *syz.STI) WireSTI {
+	w := WireSTI{ID: s.ID, Calls: make([]WireCall, len(s.Calls))}
+	for i, c := range s.Calls {
+		w.Calls[i] = WireCall{Syscall: c.Syscall, Args: c.Args}
+	}
+	return w
+}
+
+// EncodeSchedule converts a schedule to its wire form.
+func EncodeSchedule(s ski.Schedule) WireSchedule {
+	var w WireSchedule
+	for _, h := range s.Hints {
+		w.Hints = append(w.Hints, WireHint{Thread: h.Thread, Block: h.Ref.Block, Idx: h.Ref.Idx})
+	}
+	for _, h := range s.IRQs {
+		w.IRQs = append(w.IRQs, WireIRQHint{Thread: h.Thread, Block: h.Ref.Block, Idx: h.Ref.Idx, IRQ: h.IRQ})
+	}
+	return w
+}
+
+// CTI converts the wire CTI into the in-memory form.
+func (w WireCTI) CTI() ski.CTI {
+	return ski.CTI{ID: w.ID, A: w.A.sti(), B: w.B.sti()}
+}
+
+func (w WireSTI) sti() *syz.STI {
+	s := &syz.STI{ID: w.ID, Calls: make([]sim.Call, len(w.Calls))}
+	for i, c := range w.Calls {
+		s.Calls[i] = sim.Call{Syscall: c.Syscall, Args: c.Args}
+	}
+	return s
+}
+
+// Schedule converts the wire schedule into the in-memory form.
+func (w WireSchedule) Schedule() ski.Schedule {
+	var s ski.Schedule
+	for _, h := range w.Hints {
+		s.Hints = append(s.Hints, ski.Hint{Thread: h.Thread, Ref: sim.InstrRef{Block: h.Block, Idx: h.Idx}})
+	}
+	for _, h := range w.IRQs {
+		s.IRQs = append(s.IRQs, ski.IRQHint{Thread: h.Thread, Ref: sim.InstrRef{Block: h.Block, Idx: h.Idx}, IRQ: h.IRQ})
+	}
+	return s
+}
+
+// Validate checks the request's structural invariants against the served
+// kernel's syscall universe (numSyscalls 0 skips the range check).
+// Profiling is deterministic and sandboxed, so validation only needs to
+// keep indices in range — semantics are the simulator's problem.
+func (r *PredictCTIRequest) Validate(numSyscalls int) error {
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("%w: negative deadline_ms", ErrBadRequest)
+	}
+	if len(r.Schedules) == 0 {
+		return fmt.Errorf("%w: no schedules", ErrBadRequest)
+	}
+	if err := r.CTI.A.validate(numSyscalls); err != nil {
+		return fmt.Errorf("cti %d program a: %w", r.CTI.ID, err)
+	}
+	if err := r.CTI.B.validate(numSyscalls); err != nil {
+		return fmt.Errorf("cti %d program b: %w", r.CTI.ID, err)
+	}
+	for i, s := range r.Schedules {
+		for j, h := range s.Hints {
+			if h.Thread != 0 && h.Thread != 1 {
+				return fmt.Errorf("%w: schedule %d hint %d: thread %d not in {0,1}", ErrBadRequest, i, j, h.Thread)
+			}
+		}
+		for j, h := range s.IRQs {
+			if h.Thread != 0 && h.Thread != 1 {
+				return fmt.Errorf("%w: schedule %d irq %d: thread %d not in {0,1}", ErrBadRequest, i, j, h.Thread)
+			}
+		}
+	}
+	return nil
+}
+
+func (w WireSTI) validate(numSyscalls int) error {
+	if len(w.Calls) == 0 {
+		return fmt.Errorf("%w: sti%d has no calls", ErrBadRequest, w.ID)
+	}
+	for i, c := range w.Calls {
+		if c.Syscall < 0 || (numSyscalls > 0 && c.Syscall >= int32(numSyscalls)) {
+			return fmt.Errorf("%w: call %d: syscall %d outside the served kernel (%d syscalls)",
+				ErrBadRequest, i, c.Syscall, numSyscalls)
+		}
+	}
+	return nil
+}
+
+// DecodeCTIRequest parses and validates a /v1/predict_cti body.
+func DecodeCTIRequest(data []byte, numSyscalls int) (*PredictCTIRequest, error) {
+	var req PredictCTIRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := req.Validate(numSyscalls); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (s *Server) handlePredictCTI(w http.ResponseWriter, r *http.Request) {
+	if s.station == nil {
+		writeError(w, http.StatusNotImplemented, ErrNoStation)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeCTIRequest(body, len(s.station.k.Syscalls))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cti := req.CTI.CTI()
+	scheds := make([]ski.Schedule, len(req.Schedules))
+	for i, ws := range req.Schedules {
+		scheds[i] = ws.Schedule()
+	}
+	e, err := s.station.Entry(cti)
+	if err != nil {
+		s.stats.errors.Add(1)
+		writeError(w, statusOf(err), err)
+		return
+	}
+	sreq := &Request{Model: req.Model, Wait: true}
+	if req.DeadlineMS > 0 {
+		sreq.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	sreq.Graphs = make([]*ctgraph.Graph, len(scheds))
+	for i, sched := range scheds {
+		sreq.Graphs[i] = e.base.WithSchedule(sched)
+	}
+	resp, err := s.Predict(r.Context(), sreq)
+	if err != nil {
+		writeError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Model:     resp.Model,
+		Threshold: resp.Threshold,
+		Scores:    resp.Scores,
+	})
+}

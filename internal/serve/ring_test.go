@@ -1,0 +1,94 @@
+package serve
+
+import "testing"
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	for id := int64(0); id < 1000; id++ {
+		if a.Shard(id) != b.Shard(id) {
+			t.Fatalf("ring not deterministic at cti %d: %d vs %d", id, a.Shard(id), b.Shard(id))
+		}
+	}
+}
+
+func TestRingCoversAllShards(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		r := NewRing(shards, 0)
+		if r.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), shards)
+		}
+		counts := make([]int, shards)
+		const n = 4096
+		for id := int64(0); id < n; id++ {
+			s := r.Shard(id)
+			if s < 0 || s >= shards {
+				t.Fatalf("shard %d out of range [0,%d)", s, shards)
+			}
+			counts[s]++
+		}
+		// Consistent hashing with 64 vnodes is not perfectly uniform, but
+		// every shard must carry a meaningful share of the space.
+		for s, c := range counts {
+			if c < n/(shards*4) {
+				t.Fatalf("shards=%d: shard %d owns only %d of %d CTIs: %v", shards, s, c, n, counts)
+			}
+		}
+	}
+}
+
+func TestRingMinimalRemap(t *testing.T) {
+	// Growing the fleet must remap only a minority of the space: the
+	// consistent-hashing property that keeps most shard caches warm
+	// through a resize. With 4 -> 5 shards, an ideal ring moves 1/5; allow
+	// up to 2x that for vnode placement noise.
+	a, b := NewRing(4, 0), NewRing(5, 0)
+	const n = 8192
+	moved := 0
+	for id := int64(0); id < n; id++ {
+		if a.Shard(id) != b.Shard(id) {
+			moved++
+		}
+	}
+	if moved > 2*n/5 {
+		t.Fatalf("4->5 shards moved %d of %d CTIs (> 40%%); not consistent hashing", moved, n)
+	}
+	if moved == 0 {
+		t.Fatal("4->5 shards moved nothing; the new shard owns no CTIs")
+	}
+}
+
+func TestRingPartitionPreservesOrder(t *testing.T) {
+	r := NewRing(3, 0)
+	ids := make([]int64, 100)
+	for i := range ids {
+		ids[i] = int64(i * 7)
+	}
+	parts := r.Partition(ids)
+	total := 0
+	for s, part := range parts {
+		total += len(part)
+		for i := 1; i < len(part); i++ {
+			if part[i-1] >= part[i] {
+				t.Fatalf("shard %d partition out of input order: %v", s, part)
+			}
+		}
+		for _, id := range part {
+			if r.Shard(id) != s {
+				t.Fatalf("cti %d filed under shard %d but routes to %d", id, s, r.Shard(id))
+			}
+		}
+	}
+	if total != len(ids) {
+		t.Fatalf("partition lost CTIs: %d of %d", total, len(ids))
+	}
+}
+
+func TestRingPanicsOnBadShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0, 0) did not panic")
+		}
+	}()
+	NewRing(0, 0)
+}

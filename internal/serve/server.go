@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/kernel"
 	"snowcat/internal/parallel"
 	"snowcat/internal/pic"
 )
@@ -49,6 +50,15 @@ type Config struct {
 	Deadline time.Duration
 	// CacheSize bounds the BaseContext LRU; <= 0 selects 64.
 	CacheSize int
+	// Kernel, when non-nil, enables the shard-local CTI station: the
+	// server can then score raw (CTI, schedules) requests, profiling the
+	// STIs and building the base graph itself on a station miss. Fleet
+	// shards set this so consistent-hash routing keeps each shard's CTI
+	// state hot; nil keeps the server kernel-agnostic (wire graphs only).
+	Kernel *kernel.Kernel
+	// StationSize bounds the CTI station LRU (in CTIs); <= 0 selects 64.
+	// Ignored when Kernel is nil.
+	StationSize int
 	// Sync selects the deterministic synchronous mode: requests are
 	// scored inline on the caller's goroutine with no queue, timer, or
 	// dispatcher, so a single-client call sequence is exactly as
@@ -71,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 64
+	}
+	if c.StationSize <= 0 {
+		c.StationSize = 64
 	}
 	return c
 }
@@ -105,6 +118,7 @@ type Response struct {
 type pending struct {
 	req   *Request
 	reply chan result
+	enq   time.Time // admission time: anchors the coalescer's flush deadline
 }
 
 type result struct {
@@ -128,6 +142,14 @@ type Server struct {
 	closed    sync.Once
 	scratches []*pic.Scratch // dispatcher-owned inference arenas
 
+	// ewmaNS is the exponentially weighted moving average of per-graph
+	// scoring nanoseconds. It is owned by the dispatcher goroutine
+	// (written in runBatch, read in gather) and feeds the adaptive batch
+	// cap; 0 until the first batch has been measured.
+	ewmaNS float64
+
+	station *CTIStation // shard-local CTI state; nil unless configured
+
 	mu     sync.Mutex
 	served map[string]uint64 // graphs scored per model version
 }
@@ -142,6 +164,9 @@ func New(reg *Registry, cfg Config) *Server {
 		served: make(map[string]uint64),
 	}
 	s.cache = NewBaseCache(s.cfg.CacheSize)
+	if s.cfg.Kernel != nil {
+		s.station = NewCTIStation(s.cfg.Kernel, s.cfg.StationSize)
+	}
 	s.queue = make(chan *pending, s.cfg.QueueDepth)
 	s.quit = make(chan struct{})
 	s.done = make(chan struct{})
@@ -193,9 +218,10 @@ func (s *Server) Predict(ctx context.Context, req *Request) (*Response, error) {
 	}
 	s.stats.requests.Add(1)
 	s.stats.graphs.Add(uint64(len(req.Graphs)))
+	start := time.Now()
 	if req.Deadline.IsZero() && s.cfg.Deadline > 0 {
 		r := *req
-		r.Deadline = time.Now().Add(s.cfg.Deadline)
+		r.Deadline = start.Add(s.cfg.Deadline)
 		req = &r
 	}
 	if s.cfg.Sync {
@@ -203,10 +229,11 @@ func (s *Server) Predict(ctx context.Context, req *Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.stats.lat.observe(time.Since(start).Nanoseconds())
 		return resp, nil
 	}
 
-	p := &pending{req: req, reply: make(chan result, 1)}
+	p := &pending{req: req, reply: make(chan result, 1), enq: start}
 	if req.Wait {
 		select {
 		case s.queue <- p:
@@ -225,6 +252,9 @@ func (s *Server) Predict(ctx context.Context, req *Request) (*Response, error) {
 	}
 	select {
 	case r := <-p.reply:
+		if r.err == nil {
+			s.stats.lat.observe(time.Since(start).Nanoseconds())
+		}
 		return r.resp, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -233,6 +263,9 @@ func (s *Server) Predict(ctx context.Context, req *Request) (*Response, error) {
 		// only a request that lost the enqueue/shutdown race lands here.
 		select {
 		case r := <-p.reply:
+			if r.err == nil {
+				s.stats.lat.observe(time.Since(start).Nanoseconds())
+			}
 			return r.resp, r.err
 		default:
 			return nil, ErrClosed
@@ -263,6 +296,9 @@ func (s *Server) Stats() StatsSnapshot {
 	out := s.stats.snapshot()
 	out.CacheHits, out.CacheMisses, out.CacheEvictions = s.cache.Counters()
 	out.CacheLen = s.cache.Len()
+	if s.station != nil {
+		out.StationHits, out.StationMisses, _ = s.station.Counters()
+	}
 	out.QueueDepth = len(s.queue)
 	out.ServedByModel = make(map[string]uint64)
 	s.mu.Lock()
@@ -296,21 +332,58 @@ func (s *Server) dispatch() {
 	}
 }
 
-// gather coalesces requests into one batch: up to MaxBatch graphs,
-// holding an underfull batch open for MaxWait.
+// adaptiveCap is the coalescer's batch-size target: enough graphs that
+// one batch scores for about MaxWait/2 at the measured per-graph rate.
+// Below the cap, waiting for stragglers amortises dispatch overhead for
+// nearly free; above it, scoring already dominates the latency budget
+// and holding the batch open (or growing it further) only buys tail
+// latency — the batch=32 p99 cliff BENCH_serve.json used to show.
+// Before the first measurement the cap is MaxBatch (no adaptation).
+// Dispatcher-owned: reads s.ewmaNS without synchronisation.
+func (s *Server) adaptiveCap() int {
+	if s.ewmaNS <= 0 {
+		return s.cfg.MaxBatch
+	}
+	capN := int(float64(s.cfg.MaxWait.Nanoseconds()) / 2 / s.ewmaNS)
+	if capN < 1 {
+		capN = 1
+	}
+	if capN > s.cfg.MaxBatch {
+		capN = s.cfg.MaxBatch
+	}
+	return capN
+}
+
+// gather coalesces requests into one batch: up to min(MaxBatch, adaptive
+// cap) graphs, holding an underfull batch open until the *oldest* queued
+// request is MaxWait old. Anchoring the flush deadline to admission time
+// (not batch-open time) means a request that already queued behind a
+// long batch is never held for a second full window, and the adaptive
+// cap flushes immediately once the gathered graphs are predicted to
+// score for longer than the latency budget anyway.
 func (s *Server) gather(first *pending) []*pending {
 	batch := []*pending{first}
 	n := len(first.req.Graphs)
+	capN := s.adaptiveCap()
 	if n >= s.cfg.MaxBatch {
 		return batch
 	}
-	timer := time.NewTimer(s.cfg.MaxWait)
+	if n >= capN {
+		s.stats.flushes.Add(1)
+		return batch
+	}
+	timer := time.NewTimer(time.Until(first.enq.Add(s.cfg.MaxWait)))
 	defer timer.Stop()
 	for {
 		select {
 		case p := <-s.queue:
 			batch = append(batch, p)
-			if n += len(p.req.Graphs); n >= s.cfg.MaxBatch {
+			n += len(p.req.Graphs)
+			if n >= s.cfg.MaxBatch {
+				return batch
+			}
+			if n >= capN {
+				s.stats.flushes.Add(1)
 				return batch
 			}
 		case <-timer.C:
@@ -383,7 +456,14 @@ func (s *Server) runBatch(batch []*pending) {
 	for len(s.scratches) < w {
 		s.scratches = append(s.scratches, pic.NewScratch())
 	}
+	t0 := time.Now()
 	scores := s.score(snap, gs, s.scratches)
+	perGraph := float64(time.Since(t0).Nanoseconds()) / float64(len(gs))
+	if s.ewmaNS == 0 {
+		s.ewmaNS = perGraph
+	} else {
+		s.ewmaNS = 0.8*s.ewmaNS + 0.2*perGraph
+	}
 
 	s.mu.Lock()
 	s.served[snap.Version] += uint64(len(gs))

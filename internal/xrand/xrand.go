@@ -76,6 +76,18 @@ func (r *RNG) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1), via
+// inversion sampling. Scale by 1/λ for rate λ — the inter-arrival draw of
+// an open-loop Poisson load generator.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
 // NormFloat64 returns a standard normal variate (Box–Muller).
 func (r *RNG) NormFloat64() float64 {
 	for {

@@ -252,6 +252,28 @@ func TestPropertyPermLength(t *testing.T) {
 	}
 }
 
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(77)
+	const n = 20000
+	sum, max := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if mean := sum / n; mean < 0.95 || mean > 1.05 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+	if max < 4 {
+		t.Fatalf("ExpFloat64 max over %d draws = %v, tail looks truncated", n, max)
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {
