@@ -7,12 +7,33 @@ build:
 	$(GO) build ./...
 
 # Formatting gate plus vet: fails listing any file gofmt would rewrite.
+# Then the import-boundary gate: the pipeline consumers (mlpct, campaign,
+# razzer, snowboard) must resolve execution through the explore registry —
+# no direct internal/sim import and no direct ski.Execute* call outside
+# the backend implementations. The check reads direct imports only
+# (transitively every package reaches sim via explore -> ski), and skips
+# _test.go files, whose pinned pre-refactor loops call ski.Execute on
+# purpose.
 lint:
 	@unformatted=$$($(GOFMT) -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	@bad=$$($(GO) list -f '{{.ImportPath}}: {{join .Imports " "}}' \
+		./internal/mlpct ./internal/campaign ./internal/razzer ./internal/snowboard \
+		| grep 'snowcat/internal/sim' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "import-boundary violation: internal/sim imported directly (use the explore executor registry):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -n 'ski\.Execute' \
+		internal/mlpct/*.go internal/campaign/*.go internal/razzer/*.go internal/snowboard/*.go \
+		| grep -v '_test\.go' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "import-boundary violation: direct ski.Execute call (use the explore executor registry):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # Default gate: lint, the full suite, and the equivalence tests again
 # under the race detector — the inference fast-path set (base/context
@@ -42,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzScheduleKey$$' -fuzztime 10s ./internal/ski
 	$(GO) test -run '^$$' -fuzz '^FuzzExecute$$' -fuzztime 10s ./internal/ski
 	$(GO) test -run '^$$' -fuzz '^FuzzCompiledExecute$$' -fuzztime 10s ./internal/ski
+	$(GO) test -run '^$$' -fuzz '^FuzzExecutorParity$$' -fuzztime 10s ./internal/explore
 	$(GO) test -run '^$$' -fuzz '^FuzzCTGraphBuild$$' -fuzztime 10s ./internal/ctgraph
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime 10s ./internal/serve
 
@@ -70,10 +92,11 @@ bench-predict:
 	rm -f bench_predict.out
 	cat BENCH_predict.json
 
-# Campaign-layer benchmarks (worker-pool campaigns plus the schedule-key
+# Campaign-layer benchmarks (worker-pool campaigns, the executor-backend
+# comparison interp vs compiled vs loopback remote, plus the schedule-key
 # hot path); snapshots the numbers to BENCH_campaign.json.
 bench-campaign:
-	$(GO) test -run xxx -bench 'BenchmarkCampaignSerial$$|BenchmarkCampaignParallel$$' \
+	$(GO) test -run xxx -bench 'BenchmarkCampaignSerial$$|BenchmarkCampaignParallel$$|BenchmarkCampaignBackend' \
 		-benchmem -benchtime 3x . | tee bench_campaign.out
 	$(GO) test -run xxx -bench 'BenchmarkScheduleKey' \
 		-benchmem -benchtime 10000x ./internal/ski | tee -a bench_campaign.out

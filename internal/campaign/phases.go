@@ -79,6 +79,7 @@ func (r *Runner) Explorer(c Config) *mlpct.Explorer {
 		opts.Parallel = parallel.Workers(c.Parallel)
 	}
 	exp := mlpct.NewExplorer(r.K, r.Builder, opts)
+	exp.Exec = c.Exec
 	exp.Resilience = c.Resilience
 	if c.Pred != nil {
 		// MLPCT plans are built sequentially (the strategy's memory spans
@@ -123,6 +124,10 @@ func (r *Runner) ExecuteAll(c Config, plans []*mlpct.Plan) ([][]ExecOutcome, err
 		}
 	}
 	workers := parallel.Workers(c.Parallel)
+	ex := c.Exec
+	if ex == nil {
+		ex = explore.DefaultExecutor(r.K)
+	}
 	var execs []ExecOutcome
 	var err error
 	if c.Resilience != nil {
@@ -132,7 +137,7 @@ func (r *Runner) ExecuteAll(c Config, plans []*mlpct.Plan) ([][]ExecOutcome, err
 		// fold — are identical at every worker count.
 		execs, err = parallel.Map(workers, len(flat), func(k int) (ExecOutcome, error) {
 			j := flat[k]
-			rep := c.Resilience.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
+			rep := c.Resilience.Execute(ex, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
 			e := ExecOutcome{Res: rep.Res, Rep: rep}
 			if rep.Err == nil {
 				e.Races = race.Detect(rep.Res)
@@ -142,7 +147,7 @@ func (r *Runner) ExecuteAll(c Config, plans []*mlpct.Plan) ([][]ExecOutcome, err
 	} else {
 		execs, err = parallel.Map(workers, len(flat), func(k int) (ExecOutcome, error) {
 			j := flat[k]
-			res, err := ski.Execute(r.K, plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
+			res, err := ex.Execute(plans[j.cti].CTI, plans[j.cti].Scheds[j.sched])
 			if err != nil {
 				return ExecOutcome{}, err
 			}

@@ -12,6 +12,7 @@ import (
 
 	"snowcat/internal/cfg"
 	"snowcat/internal/ctgraph"
+	"snowcat/internal/explore"
 	"snowcat/internal/kernel"
 	"snowcat/internal/parallel"
 	"snowcat/internal/pic"
@@ -117,6 +118,10 @@ type Collector struct {
 	K       *kernel.Kernel
 	Builder *ctgraph.Builder
 	Gen     *syz.Generator
+	// Exec is the execution backend labelling runs through (see
+	// explore.NewExecutor); nil selects the interpreter. Backends are
+	// pinned DeepEqual, so the collected dataset does not depend on it.
+	Exec explore.Executor
 }
 
 // NewCollector wires a collector for kernel k; the CFG is built here.
@@ -155,7 +160,11 @@ func (c *Collector) LabelOne(cti ski.CTI, pa, pb *syz.Profile, sched ski.Schedul
 // amortising the per-CTI graph work across the CTI's schedules. The
 // labelled example is identical to LabelOne's.
 func (c *Collector) LabelWithBase(base *ctgraph.Base, sched ski.Schedule) (*pic.Example, *ski.Result, error) {
-	res, err := ski.Execute(c.K, base.CTI, sched)
+	ex := c.Exec
+	if ex == nil {
+		ex = explore.DefaultExecutor(c.K)
+	}
+	res, err := ex.Execute(base.CTI, sched)
 	if err != nil {
 		return nil, nil, err
 	}

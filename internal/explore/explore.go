@@ -28,7 +28,6 @@ import (
 
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/faults"
-	"snowcat/internal/kernel"
 	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
 	"snowcat/internal/ski"
@@ -283,10 +282,12 @@ func (w *Walk) Run() []Candidate {
 }
 
 // ExecutePlan is the Execute stage: it runs every selected schedule of one
-// CTI on at most workers goroutines (<= 0 means 1) and returns the results
-// in selection order, so the output is identical for any worker count.
-// Each result is charged to the ledger — and its hook fired — during the
-// sequential in-order fold.
+// CTI through the executor backend on at most workers goroutines (<= 0
+// means 1) and returns the results in selection order, so the output is
+// identical for any worker count. Each result is charged to the ledger —
+// and its hook fired — during the sequential in-order fold. Every
+// registered backend is pinned DeepEqual to the interpreter, so the stage's
+// output does not depend on which one runs it.
 //
 // With res == nil the stage is fail-fast: a failed execution wraps ErrExec
 // alongside the underlying ski error and no charges are recorded. With a
@@ -295,7 +296,7 @@ func (w *Walk) Run() []Candidate {
 // quarantined) yields a nil entry in the returned slice — skip-and-log
 // degradation, never an error — and the fold charges attempts, backoff and
 // penalties per the policy.
-func ExecutePlan(k *kernel.Kernel, cti ski.CTI, scheds []ski.Schedule, workers int,
+func ExecutePlan(ex Executor, cti ski.CTI, scheds []ski.Schedule, workers int,
 	led *Ledger, hooks *Hooks, res *Resilience) ([]*ski.Result, error) {
 
 	if led == nil {
@@ -303,7 +304,7 @@ func ExecutePlan(k *kernel.Kernel, cti ski.CTI, scheds []ski.Schedule, workers i
 	}
 	if res == nil {
 		results, err := parallel.Map(workers, len(scheds), func(i int) (*ski.Result, error) {
-			return ski.Execute(k, cti, scheds[i])
+			return ex.Execute(cti, scheds[i])
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%w: %w", ErrExec, err)
@@ -315,7 +316,7 @@ func ExecutePlan(k *kernel.Kernel, cti ski.CTI, scheds []ski.Schedule, workers i
 		return results, nil
 	}
 	reports, err := parallel.Map(workers, len(scheds), func(i int) (faults.Report, error) {
-		return res.Execute(k, cti, scheds[i]), nil
+		return res.Execute(ex, cti, scheds[i]), nil
 	})
 	if err != nil {
 		panic(err) // faults.Run recovers exec panics; reaching this is a pipeline bug

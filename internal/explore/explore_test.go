@@ -289,7 +289,7 @@ func TestExecutePlanMatchesDirectExecution(t *testing.T) {
 			}
 			order++
 		}}
-		got, err := ExecutePlan(f.k, f.cti, scheds, workers, led, hooks, nil)
+		got, err := ExecutePlan(DefaultExecutor(f.k), f.cti, scheds, workers, led, hooks, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

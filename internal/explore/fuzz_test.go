@@ -1,0 +1,96 @@
+package explore
+
+import (
+	"encoding/binary"
+	"reflect"
+	"sync"
+	"testing"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// parityFixture lazily builds the kernel, CTI, and the two registered
+// in-process executors FuzzExecutorParity differentiates; sync.Once keeps
+// repeated fuzz iterations cheap and shares the compiled program.
+var parityFixture struct {
+	once     sync.Once
+	cti      ski.CTI
+	interp   Executor
+	compiled Executor
+}
+
+func loadParityFixture(tb testing.TB) (Executor, Executor, ski.CTI) {
+	parityFixture.once.Do(func() {
+		k := kernel.Generate(kernel.SmallConfig(95))
+		gen := syz.NewGenerator(k, 96)
+		parityFixture.cti = ski.CTI{ID: 3, A: gen.Generate(), B: gen.Generate()}
+		var err error
+		if parityFixture.interp, err = NewExecutor("interp", Env{Kernel: k}); err != nil {
+			panic(err)
+		}
+		if parityFixture.compiled, err = NewExecutor("compiled", Env{Kernel: k}); err != nil {
+			panic(err)
+		}
+	})
+	return parityFixture.interp, parityFixture.compiled, parityFixture.cti
+}
+
+// paritySchedule derives a schedule from raw fuzz bytes: threads are valid
+// (0/1) so execution is accepted, but blocks, indices and IRQ numbers
+// range over all of int32, exercising the relaxed skip semantics through
+// the executor interface rather than the concrete functions.
+func paritySchedule(data []byte) ski.Schedule {
+	var s ski.Schedule
+	i32 := func(off int) int32 {
+		if off+4 > len(data) {
+			return 0
+		}
+		return int32(binary.LittleEndian.Uint32(data[off : off+4]))
+	}
+	n := len(data) / 9
+	for h := 0; h < n && h < 6; h++ {
+		off := h * 9
+		ref := ski.InstrRef{Block: i32(off + 1), Idx: i32(off + 5)}
+		thread := int32(data[off] % 2)
+		if data[off]%3 == 2 {
+			s.IRQs = append(s.IRQs, ski.IRQHint{Thread: thread, Ref: ref, IRQ: ref.Idx % 7})
+		} else {
+			s.Hints = append(s.Hints, ski.Hint{Thread: thread, Ref: ref})
+		}
+	}
+	return s
+}
+
+// FuzzExecutorParity is the registry-level differential target: on every
+// hostile schedule and step budget, the interp and compiled backends —
+// resolved by name, exercised only through the Executor interface — must
+// return DeepEqual results or fail with identical error text. This is the
+// contract that lets every pipeline consumer treat the backend choice as
+// invisible.
+func FuzzExecutorParity(f *testing.F) {
+	f.Add([]byte{}, int32(0))
+	f.Add([]byte{0, 1, 0, 0, 0, 2, 0, 0, 0}, int32(0))
+	f.Add([]byte{2, 255, 255, 255, 255, 9, 0, 0, 0, 1, 7, 0, 0, 0, 1, 0, 0, 0}, int32(17))
+	f.Add([]byte{1, 3, 0, 0, 0, 4, 0, 0, 0}, int32(1))
+	f.Fuzz(func(t *testing.T, data []byte, rawLimit int32) {
+		interp, compiled, cti := loadParityFixture(t)
+		sched := paritySchedule(data)
+		limit := int(uint32(rawLimit) % 4096) // 0 keeps the global bound
+		want, werr := interp.ExecuteSteps(cti, sched, limit)
+		got, gerr := compiled.ExecuteSteps(cti, sched, limit)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("limit=%d: interp err = %v, compiled err = %v", limit, werr, gerr)
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Fatalf("limit=%d: error text diverged:\n  interp:   %v\n  compiled: %v", limit, werr, gerr)
+			}
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("limit=%d: compiled result diverged from interp", limit)
+		}
+	})
+}

@@ -6,7 +6,6 @@ import (
 
 	"snowcat/internal/ctgraph"
 	"snowcat/internal/faults"
-	"snowcat/internal/kernel"
 	"snowcat/internal/ski"
 )
 
@@ -44,14 +43,17 @@ func NewResilience(inj *faults.Injector, p faults.Policy) (*Resilience, error) {
 	}, nil
 }
 
-// Execute runs one candidate through the fault injector and retry loop,
-// bounding each real execution by the policy's step budget. It mutates
-// nothing shared and is safe to call from pool workers.
-func (r *Resilience) Execute(k *kernel.Kernel, cti ski.CTI, sched ski.Schedule) faults.Report {
+// Execute runs one candidate through the fault injector and retry loop on
+// the given executor backend, bounding each real execution by the policy's
+// step budget. Fault decisions are pure per-attempt hashes and corruption/
+// validation apply to the returned result, so a chaos schedule is identical
+// for every backend. It mutates nothing shared and is safe to call from
+// pool workers.
+func (r *Resilience) Execute(ex Executor, cti ski.CTI, sched ski.Schedule) faults.Report {
 	exec := func(cti ski.CTI, sched ski.Schedule) (*ski.Result, error) {
-		return ski.ExecuteSteps(k, cti, sched, r.Policy.StepBudget)
+		return ex.ExecuteSteps(cti, sched, r.Policy.StepBudget)
 	}
-	return faults.Run(k, r.Inj, r.Policy, exec, cti, sched)
+	return faults.Run(ex.Kernel(), r.Inj, r.Policy, exec, cti, sched)
 }
 
 // Quarantined reports whether the CTI is on the quarantine list.

@@ -37,14 +37,14 @@ func TestExecutePlanZeroRateMatchesLegacy(t *testing.T) {
 		scheds = append(scheds, sampler.Next())
 	}
 	legacyLed := NewLedger(PaperCosts())
-	legacy, err := ExecutePlan(f.k, f.cti, scheds, 1, legacyLed, nil, nil)
+	legacy, err := ExecutePlan(DefaultExecutor(f.k), f.cti, scheds, 1, legacyLed, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
 		led := NewLedger(PaperCosts())
 		res := newResilience(t, nil, faults.DefaultPolicy())
-		got, err := ExecutePlan(f.k, f.cti, scheds, workers, led, nil, res)
+		got, err := ExecutePlan(DefaultExecutor(f.k), f.cti, scheds, workers, led, nil, res)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func TestExecutePlanChaosDeterministic(t *testing.T) {
 			},
 			CTIQuarantined: func(cti ski.CTI) { events = append(events, "quarantine") },
 		}
-		results, err := ExecutePlan(f.k, f.cti, scheds, workers, led, hooks, res)
+		results, err := ExecutePlan(DefaultExecutor(f.k), f.cti, scheds, workers, led, hooks, res)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestExecutePlanQuarantine(t *testing.T) {
 	led := NewLedger(CostModel{})
 	quarantined := 0
 	hooks := &Hooks{CTIQuarantined: func(cti ski.CTI) { quarantined++ }}
-	results, err := ExecutePlan(f.k, f.cti, scheds, 2, led, hooks, res)
+	results, err := ExecutePlan(DefaultExecutor(f.k), f.cti, scheds, 2, led, hooks, res)
 	if err != nil {
 		t.Fatal(err)
 	}

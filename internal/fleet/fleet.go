@@ -19,6 +19,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -175,9 +176,12 @@ func (f *Fleet) Stats() []serve.StatsSnapshot {
 	return out
 }
 
-// ShardDownError reports a request routed to a killed shard. The fleet
-// client panics with it (the Predictor interface has no error channel);
-// the coordinator recovers it and turns it into restart-and-retry.
+// ShardDownError reports a request routed to a killed shard. The
+// error-returning client methods (ScoreE, ScoreBatchE, ThresholdE,
+// BeginCTIE) wrap it with %w so errors.As recovers the shard index; the
+// predictor.Predictor shims still panic with it (that interface has no
+// error channel) and the coordinator recovers the panic and turns it into
+// restart-and-retry.
 type ShardDownError struct {
 	Shard int
 }
@@ -214,19 +218,48 @@ func (c *Client) shardFor(g *ctgraph.Graph) int {
 	return 0
 }
 
-// server returns shard i's live server or panics with ShardDownError.
-func (c *Client) server(i int) *serve.Server {
+// server returns shard i's live server or an error wrapping
+// ShardDownError.
+func (c *Client) server(i int) (*serve.Server, error) {
 	s := c.f.Server(i)
 	if s == nil {
-		panic(ShardDownError{Shard: i})
+		return nil, fmt.Errorf("fleet: routing to shard %d: %w", i, ShardDownError{Shard: i})
 	}
-	return s
+	return s, nil
+}
+
+// mustPanic converts an error from the graceful API back into the panic
+// the error-free predictor interfaces contract on: the typed
+// ShardDownError value when one is wrapped (the coordinator's recover
+// matches on it), the raw error otherwise.
+func mustPanic(err error) {
+	var down ShardDownError
+	if errors.As(err, &down) {
+		panic(down)
+	}
+	panic(err)
 }
 
 // Score implements predictor.Predictor via a one-graph request to the
-// owning shard.
+// owning shard. It panics on a down shard; ScoreE degrades gracefully.
 func (c *Client) Score(g *ctgraph.Graph) []float64 {
-	return c.scoreShard(c.shardFor(g), []*ctgraph.Graph{g})[0]
+	scores, err := c.ScoreE(g)
+	if err != nil {
+		mustPanic(err)
+	}
+	return scores
+}
+
+// ScoreE is Score with an error channel: a request routed to a killed
+// shard returns an error wrapping ShardDownError instead of panicking,
+// so callers with error plumbing — the remote execution path, external
+// executors — can degrade or retry instead of crashing the round.
+func (c *Client) ScoreE(g *ctgraph.Graph) ([]float64, error) {
+	rows, err := c.scoreShard(c.shardFor(g), []*ctgraph.Graph{g})
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
 }
 
 // ScoreBatch implements predictor.BatchScorer. Graphs partition by owning
@@ -234,8 +267,17 @@ func (c *Client) Score(g *ctgraph.Graph) []float64 {
 // reassemble index-aligned with gs — per-graph scores are unchanged by
 // the partitioning (the coalescer's batch-composition contract).
 func (c *Client) ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64 {
+	out, err := c.ScoreBatchE(gs, workers)
+	if err != nil {
+		mustPanic(err)
+	}
+	return out
+}
+
+// ScoreBatchE is ScoreBatch with an error channel (see ScoreE).
+func (c *Client) ScoreBatchE(gs []*ctgraph.Graph, workers int) ([][]float64, error) {
 	if len(gs) == 0 {
-		return nil
+		return nil, nil
 	}
 	parts := make(map[int][]int) // shard -> indices into gs, ascending
 	order := make([]int, 0, 4)   // shards in first-seen order
@@ -253,35 +295,55 @@ func (c *Client) ScoreBatch(gs []*ctgraph.Graph, workers int) [][]float64 {
 		for j, i := range idx {
 			sub[j] = gs[i]
 		}
-		for j, scores := range c.scoreShard(s, sub) {
+		rows, err := c.scoreShard(s, sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, scores := range rows {
 			out[idx[j]] = scores
 		}
 	}
-	return out
+	return out, nil
 }
 
-func (c *Client) scoreShard(shard int, gs []*ctgraph.Graph) [][]float64 {
-	s := c.server(shard)
+func (c *Client) scoreShard(shard int, gs []*ctgraph.Graph) ([][]float64, error) {
+	s, err := c.server(shard)
+	if err != nil {
+		return nil, err
+	}
 	resp, err := s.Predict(context.Background(), &serve.Request{Graphs: gs, Wait: true})
 	if err != nil {
 		// A shard killed mid-request surfaces serve.ErrClosed; map it to
-		// the typed shard-down panic the coordinator recovers.
-		panic(ShardDownError{Shard: shard})
+		// the typed shard-down error the coordinator restarts on.
+		return nil, fmt.Errorf("fleet: scoring %d graphs on shard %d: %w (%v)",
+			len(gs), shard, ShardDownError{Shard: shard}, err)
 	}
-	return resp.Scores
+	return resp.Scores, nil
 }
 
 // Threshold implements predictor.Predictor from the first live shard's
-// active model (all shards serve the same weights).
+// active model (all shards serve the same weights). It panics when no
+// shard is live; ThresholdE degrades gracefully.
 func (c *Client) Threshold() float64 {
+	t, err := c.ThresholdE()
+	if err != nil {
+		mustPanic(err)
+	}
+	return t
+}
+
+// ThresholdE is Threshold with an error channel: when no live shard has
+// an active model it returns an error wrapping ShardDownError for shard
+// 0 (the canonical routing fallback) instead of panicking.
+func (c *Client) ThresholdE() (float64, error) {
 	for i := 0; i < c.f.Shards(); i++ {
 		if s := c.f.Server(i); s != nil {
 			if snap := s.Registry().Active(); snap != nil {
-				return snap.Model.Threshold
+				return snap.Model.Threshold, nil
 			}
 		}
 	}
-	panic("fleet: no live shard with an active model")
+	return 0, fmt.Errorf("fleet: no live shard with an active model: %w", ShardDownError{Shard: 0})
 }
 
 // Name implements predictor.Predictor.
@@ -293,15 +355,27 @@ func (c *Client) Name() string {
 }
 
 // BeginCTI implements predictor.CTIScorer by priming the owning shard's
-// BaseContext cache, the per-CTI amortisation bracket.
+// BaseContext cache, the per-CTI amortisation bracket. It panics on a
+// down shard; BeginCTIE degrades gracefully.
 func (c *Client) BeginCTI(base *ctgraph.Base) {
-	if base == nil {
-		return
+	if err := c.BeginCTIE(base); err != nil {
+		mustPanic(err)
 	}
-	s := c.server(c.f.ring.Shard(base.CTI.ID))
+}
+
+// BeginCTIE is BeginCTI with an error channel (see ScoreE).
+func (c *Client) BeginCTIE(base *ctgraph.Base) error {
+	if base == nil {
+		return nil
+	}
+	s, err := c.server(c.f.ring.Shard(base.CTI.ID))
+	if err != nil {
+		return err
+	}
 	if snap := s.Registry().Active(); snap != nil {
 		s.Cache().Get(snap, base)
 	}
+	return nil
 }
 
 // EndCTI implements predictor.CTIScorer; eviction is the LRU's job.

@@ -444,3 +444,89 @@ func TestCheckpointFileGuards(t *testing.T) {
 		t.Fatalf("round-trip mangled checkpoint: %+v", got)
 	}
 }
+
+// TestClientGracefulErrors pins the error-returning client surface: a
+// request routed to a killed shard comes back as an error wrapping
+// ShardDownError — no panic — from every E-suffixed method, and after a
+// restart the same calls succeed with scores DeepEqual to pre-kill.
+func TestClientGracefulErrors(t *testing.T) {
+	k := kernel.Generate(kernel.SmallConfig(7))
+	m, tc := tinyModel(k, 8)
+	f, err := New(k, m, tc, Config{Shards: 3, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	gen := syz.NewGenerator(k, 5)
+	a, b := gen.Generate(), gen.Generate()
+	pa, err := syz.Run(k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builder := ctgraph.NewBuilder(k, cfg.Build(k))
+	cti := ski.CTI{ID: 42, A: a, B: b}
+	base := builder.BuildBase(cti, pa, pb)
+	g := base.WithSchedule(ski.NewSampler(pa, pb, 6).Next())
+
+	c := f.Client("")
+	want, err := c.ScoreE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ThresholdE(); err != nil {
+		t.Fatalf("ThresholdE with all shards live: %v", err)
+	}
+
+	owner := f.Ring().Shard(cti.ID)
+	f.Kill(owner)
+	checkDown := func(what string, err error) {
+		t.Helper()
+		var down ShardDownError
+		if !errors.As(err, &down) {
+			t.Fatalf("%s error %v does not wrap ShardDownError", what, err)
+		}
+		if down.Shard != owner {
+			t.Fatalf("%s names shard %d, want %d", what, down.Shard, owner)
+		}
+	}
+	_, err = c.ScoreE(g)
+	checkDown("ScoreE", err)
+	_, err = c.ScoreBatchE([]*ctgraph.Graph{g}, 1)
+	checkDown("ScoreBatchE", err)
+	checkDown("BeginCTIE", c.BeginCTIE(base))
+
+	// Threshold still answers from a surviving shard…
+	if _, err := c.ThresholdE(); err != nil {
+		t.Fatalf("ThresholdE with a live shard remaining: %v", err)
+	}
+	// …and only errors once no shard is live.
+	for i := 0; i < f.Shards(); i++ {
+		f.Kill(i)
+	}
+	if _, err := c.ThresholdE(); err == nil {
+		t.Fatal("ThresholdE with no live shard returned nil error")
+	} else {
+		var down ShardDownError
+		if !errors.As(err, &down) {
+			t.Fatalf("ThresholdE error %v does not wrap ShardDownError", err)
+		}
+	}
+
+	for i := 0; i < f.Shards(); i++ {
+		if err := f.Restart(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.ScoreE(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("restarted shard scores diverged from pre-kill scores")
+	}
+}

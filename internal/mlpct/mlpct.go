@@ -130,6 +130,9 @@ type Explorer struct {
 	K       *kernel.Kernel
 	Builder *ctgraph.Builder
 	Opts    Options
+	// Exec is the execution backend (see explore.NewExecutor); nil selects
+	// the interpreter, bit-identical to the pre-registry pipeline.
+	Exec explore.Executor
 	// Hooks observes the pipeline stages (see explore.Hooks); nil
 	// disables observation. Hooks fire from the sequential walk and the
 	// in-order execution fold, so concurrent Plan calls must not share a
@@ -147,6 +150,15 @@ type Explorer struct {
 // NewExplorer creates an explorer with the given options.
 func NewExplorer(k *kernel.Kernel, b *ctgraph.Builder, opts Options) *Explorer {
 	return &Explorer{K: k, Builder: b, Opts: opts}
+}
+
+// executor resolves the configured execution backend, defaulting to the
+// interpreter over the explorer's kernel.
+func (e *Explorer) executor() explore.Executor {
+	if e.Exec != nil {
+		return e.Exec
+	}
+	return explore.DefaultExecutor(e.K)
 }
 
 // Plan is the outcome of one CTI's proposal/selection walk before any
@@ -238,7 +250,7 @@ func (e *Explorer) PlanMLPCT(cti ski.CTI, pa, pb *syz.Profile, seed uint64,
 // counted) instead of aborting the outcome.
 func (e *Explorer) Execute(p *Plan) (*Outcome, error) {
 	led := explore.NewLedger(explore.CostModel{})
-	results, err := explore.ExecutePlan(e.K, p.CTI, p.Scheds, e.Opts.workers(), led, e.Hooks, e.Resilience)
+	results, err := explore.ExecutePlan(e.executor(), p.CTI, p.Scheds, e.Opts.workers(), led, e.Hooks, e.Resilience)
 	if err != nil {
 		return nil, fmt.Errorf("mlpct: %w", err)
 	}

@@ -27,7 +27,6 @@ import (
 	"snowcat/internal/parallel"
 	"snowcat/internal/predictor"
 	"snowcat/internal/race"
-	"snowcat/internal/sim"
 	"snowcat/internal/ski"
 	"snowcat/internal/syz"
 	"snowcat/internal/xrand"
@@ -46,8 +45,8 @@ var (
 // TargetRace is a known (or statically suspected) data race: a writing and
 // a reading instruction on a shared address.
 type TargetRace struct {
-	WriteRef sim.InstrRef
-	ReadRef  sim.InstrRef
+	WriteRef ski.InstrRef
+	ReadRef  ski.InstrRef
 	Addr     int32
 }
 
@@ -72,16 +71,16 @@ func RaceFromBug(k *kernel.Kernel, bug kernel.Bug) (TargetRace, error) {
 	var t TargetRace
 	t.Addr = gA
 	found := 0
-	scan := func(fn int32, op kasm.Op) (sim.InstrRef, bool) {
+	scan := func(fn int32, op kasm.Op) (ski.InstrRef, bool) {
 		for _, bid := range k.Func(fn).Blocks {
 			b := k.Block(bid)
 			for i := range b.Instrs {
 				if b.Instrs[i].Op == op && b.Instrs[i].Addr == gA {
-					return sim.InstrRef{Block: bid, Idx: int32(i)}, true
+					return ski.InstrRef{Block: bid, Idx: int32(i)}, true
 				}
 			}
 		}
-		return sim.InstrRef{}, false
+		return ski.InstrRef{}, false
 	}
 	wFn := k.Syscalls[bug.WriterSyscall].Fn
 	rFn := k.Syscalls[bug.ReaderSyscall].Fn
@@ -136,9 +135,21 @@ type Finder struct {
 	// PICSchedules is how many random schedules Razzer-PIC asks the model
 	// about per candidate (the paper checks "some random schedules").
 	PICSchedules int
+	// Exec is the execution backend for reproduction runs (see
+	// explore.NewExecutor); nil selects the interpreter.
+	Exec explore.Executor
 
 	// led accumulates the finder's inference and execution counts.
 	led *explore.Ledger
+}
+
+// executor resolves the configured execution backend, defaulting to the
+// interpreter over the finder's kernel.
+func (f *Finder) executor() explore.Executor {
+	if f.Exec != nil {
+		return f.Exec
+	}
+	return explore.DefaultExecutor(f.K)
 }
 
 // Ledger exposes the finder's accounting: model inferences spent by
@@ -305,6 +316,7 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 	for i := range seeds {
 		seeds[i] = rng.Uint64()
 	}
+	ex := f.executor()
 	type attempt struct {
 		tp      bool
 		execs   int
@@ -326,7 +338,7 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 			if cfg.Resilience != nil {
 				// Quarantine tallies locally (this worker owns the whole
 				// candidate); the sequential fold settles the counters.
-				rep := cfg.Resilience.Execute(f.K, cti, sampler.Next())
+				rep := cfg.Resilience.Execute(ex, cti, sampler.Next())
 				att.execs += rep.Attempts
 				att.retries += rep.Attempts - 1
 				att.extra += rep.BackoffSeconds + rep.PenaltySeconds
@@ -341,7 +353,7 @@ func (f *Finder) Reproduce(target TargetRace, ctis []ski.CTI, cfg ReproConfig) (
 				out = rep.Res
 			} else {
 				var err error
-				out, err = ski.Execute(f.K, cti, sampler.Next())
+				out, err = ex.Execute(cti, sampler.Next())
 				if err != nil {
 					return att, fmt.Errorf("%w: %w", explore.ErrExec, err)
 				}

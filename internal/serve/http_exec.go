@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"snowcat/internal/explore"
+	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+)
+
+// ExecuteCTIRequest is the /v1/execute_cti body: a raw CTI plus the
+// schedules to run it under. Like /v1/predict_cti the client ships no
+// derived state — the shard owns the kernel and executes the simulator
+// itself — so the same consistent-hash routing keeps one shard hot per
+// CTI for execution exactly as it does for prediction.
+type ExecuteCTIRequest struct {
+	CTI       WireCTI        `json:"cti"`
+	Schedules []WireSchedule `json:"schedules"`
+	// StepLimit bounds each execution's interleaved steps; 0 means
+	// unbounded (see ski.ExecuteSteps).
+	StepLimit int `json:"step_limit,omitempty"`
+}
+
+// Error kinds a WireExecResult can carry. The kinds name the sentinel
+// errors the in-process executors return, so the client can rebuild an
+// error that still satisfies errors.Is against the original sentinel —
+// hang classification and schedule-validation handling behave identically
+// through the wire.
+const (
+	ExecErrStepLimit   = "step_limit"   // wraps sim.ErrStepLimit
+	ExecErrBadSchedule = "bad_schedule" // wraps ski.ErrBadSchedule
+	ExecErrOther       = "other"
+)
+
+// WireExecResult is one schedule's outcome. Exactly one of Result and
+// Error is set. Result is the simulator's ski.Result marshalled directly —
+// every field is a plain exported value and no field is tagged omitempty,
+// so nil versus empty-but-allocated slices survive the round trip and the
+// decoded result stays reflect.DeepEqual to a local execution.
+type WireExecResult struct {
+	Result    *ski.Result `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	ErrorKind string      `json:"error_kind,omitempty"`
+}
+
+// ExecuteCTIResponse is the /v1/execute_cti reply: one row per requested
+// schedule, in request order.
+type ExecuteCTIResponse struct {
+	Results []WireExecResult `json:"results"`
+}
+
+// Validate checks the request's structural invariants against the served
+// kernel's syscall universe (numSyscalls 0 skips the range check).
+func (r *ExecuteCTIRequest) Validate(numSyscalls int) error {
+	if r.StepLimit < 0 {
+		return fmt.Errorf("%w: negative step_limit", ErrBadRequest)
+	}
+	if len(r.Schedules) == 0 {
+		return fmt.Errorf("%w: no schedules", ErrBadRequest)
+	}
+	if err := r.CTI.A.validate(numSyscalls); err != nil {
+		return fmt.Errorf("cti %d program a: %w", r.CTI.ID, err)
+	}
+	if err := r.CTI.B.validate(numSyscalls); err != nil {
+		return fmt.Errorf("cti %d program b: %w", r.CTI.ID, err)
+	}
+	return nil
+}
+
+// DecodeExecRequest parses and validates a /v1/execute_cti body.
+func DecodeExecRequest(data []byte, numSyscalls int) (*ExecuteCTIRequest, error) {
+	var req ExecuteCTIRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := req.Validate(numSyscalls); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// execErrKind classifies an execution error for the wire.
+func execErrKind(err error) string {
+	switch {
+	case errors.Is(err, sim.ErrStepLimit):
+		return ExecErrStepLimit
+	case errors.Is(err, ski.ErrBadSchedule):
+		return ExecErrBadSchedule
+	}
+	return ExecErrOther
+}
+
+// wireExecError is a decoded remote execution error: the server's exact
+// error text, unwrapping to the sentinel its kind names so errors.Is
+// works as if the execution had run in process.
+type wireExecError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireExecError) Error() string { return e.msg }
+func (e *wireExecError) Unwrap() error { return e.sentinel }
+
+// decodeExecError rebuilds an execution error from its wire form.
+func decodeExecError(kind, msg string) error {
+	switch kind {
+	case ExecErrStepLimit:
+		return &wireExecError{msg: msg, sentinel: sim.ErrStepLimit}
+	case ExecErrBadSchedule:
+		return &wireExecError{msg: msg, sentinel: ski.ErrBadSchedule}
+	}
+	return errors.New(msg)
+}
+
+func (s *Server) handleExecuteCTI(w http.ResponseWriter, r *http.Request) {
+	if s.station == nil {
+		writeError(w, http.StatusNotImplemented, ErrNoStation)
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeExecRequest(body, len(s.station.k.Syscalls))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cti := req.CTI.CTI()
+	resp := ExecuteCTIResponse{Results: make([]WireExecResult, len(req.Schedules))}
+	for i, ws := range req.Schedules {
+		res, err := ski.ExecuteSteps(s.station.k, cti, ws.Schedule(), req.StepLimit)
+		if err != nil {
+			resp.Results[i] = WireExecResult{Error: err.Error(), ErrorKind: execErrKind(err)}
+			continue
+		}
+		resp.Results[i] = WireExecResult{Result: res}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExecuteCTI runs the schedules of one CTI on its owning shard and
+// returns the per-schedule outcomes in request order.
+func (c *HTTPClient) ExecuteCTI(ctx context.Context, cti ski.CTI, scheds []ski.Schedule, stepLimit int) (*ExecuteCTIResponse, error) {
+	req := ExecuteCTIRequest{StepLimit: stepLimit, CTI: EncodeCTI(cti)}
+	req.Schedules = make([]WireSchedule, len(scheds))
+	for i, s := range scheds {
+		req.Schedules[i] = EncodeSchedule(s)
+	}
+	shard := c.ring.Shard(cti.ID)
+	var resp ExecuteCTIResponse
+	if err := c.post(ctx, shard, "/v1/execute_cti", req, &resp); err != nil {
+		return nil, fmt.Errorf("shard %d: %w", shard, err)
+	}
+	if len(resp.Results) != len(scheds) {
+		return nil, fmt.Errorf("shard %d: %d result rows for %d schedules", shard, len(resp.Results), len(scheds))
+	}
+	return &resp, nil
+}
+
+// RemoteExecutor is the client side of /v1/execute_cti as an
+// explore.Executor: every execution round-trips to the shard the ring
+// routes the CTI to. The shard runs the same deterministic simulator, so
+// results stay reflect.DeepEqual to the in-process backends — the pinned
+// parity suites hold over the wire.
+type RemoteExecutor struct {
+	k *kernel.Kernel
+	c *HTTPClient
+}
+
+// NewRemoteExecutor builds a remote executor over an existing fleet
+// client. The kernel is the client's local copy — used only for fault
+// validation and invariant checks, never for execution.
+func NewRemoteExecutor(k *kernel.Kernel, c *HTTPClient) *RemoteExecutor {
+	if k == nil {
+		panic("serve: NewRemoteExecutor with nil kernel")
+	}
+	return &RemoteExecutor{k: k, c: c}
+}
+
+// Name identifies the backend in logs and error messages.
+func (e *RemoteExecutor) Name() string { return "remote" }
+
+// Kernel returns the client-side kernel copy.
+func (e *RemoteExecutor) Kernel() *kernel.Kernel { return e.k }
+
+// Execute runs one (CTI, schedule) pair remotely with no step bound.
+func (e *RemoteExecutor) Execute(cti ski.CTI, sched ski.Schedule) (*ski.Result, error) {
+	return e.ExecuteSteps(cti, sched, 0)
+}
+
+// ExecuteSteps runs one (CTI, schedule) pair remotely under a step
+// budget. Remote execution errors come back with their sentinel identity
+// intact (sim.ErrStepLimit, ski.ErrBadSchedule), so the fault layer's
+// hang classification is executor-independent.
+func (e *RemoteExecutor) ExecuteSteps(cti ski.CTI, sched ski.Schedule, stepLimit int) (*ski.Result, error) {
+	resp, err := e.c.ExecuteCTI(context.Background(), cti, []ski.Schedule{sched}, stepLimit)
+	if err != nil {
+		return nil, err
+	}
+	row := resp.Results[0]
+	if row.Error != "" {
+		return nil, decodeExecError(row.ErrorKind, row.Error)
+	}
+	if row.Result == nil {
+		return nil, fmt.Errorf("remote executor: shard returned neither result nor error for %s", cti)
+	}
+	return row.Result, nil
+}
+
+func init() {
+	// The remote backend joins the registry from here, not from explore:
+	// explore stays free of HTTP machinery and serve already depends on
+	// explore's types. Any program that links the serve package (the CLI,
+	// the fleet, the parity tests) can resolve -executor=remote.
+	explore.RegisterExecutor("remote", func(env explore.Env) (explore.Executor, error) {
+		if env.Kernel == nil {
+			return nil, errors.New("serve: remote executor requires a kernel")
+		}
+		if len(env.URLs) == 0 {
+			return nil, errors.New("serve: remote executor requires shard URLs")
+		}
+		return NewRemoteExecutor(env.Kernel, NewHTTPClient(env.URLs, env.Replicas)), nil
+	})
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/explore"
+	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// execFixture boots one execution-capable loopback shard plus the local
+// CTI/schedule stream the tests compare against.
+func execFixture(t *testing.T) (*kernel.Kernel, *HTTPClient, ski.CTI, []ski.Schedule) {
+	t.Helper()
+	k := kernel.Generate(kernel.SmallConfig(61))
+	s := New(NewRegistry(), Config{Kernel: k, Sync: true})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+
+	gen := syz.NewGenerator(k, 62)
+	cti := ski.CTI{ID: 7, A: gen.Generate(), B: gen.Generate()}
+	pa, err := syz.Run(k, cti.A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := syz.Run(k, cti.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := ski.NewSampler(pa, pb, 63)
+	scheds := make([]ski.Schedule, 5)
+	for i := range scheds {
+		scheds[i] = sampler.Next()
+	}
+	return k, NewHTTPClient([]string{ts.URL}, 0), cti, scheds
+}
+
+// TestExecuteCTIWireFidelity pins the endpoint's central contract: a
+// result decoded off the wire is reflect.DeepEqual to the local
+// interpreter's — including the nil-ness of every slice field, which the
+// pinned campaign comparisons are sensitive to.
+func TestExecuteCTIWireFidelity(t *testing.T) {
+	k, c, cti, scheds := execFixture(t)
+	resp, err := c.ExecuteCTI(context.Background(), cti, scheds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sched := range scheds {
+		want, err := ski.Execute(k, cti, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := resp.Results[i]
+		if row.Error != "" {
+			t.Fatalf("schedule %d: unexpected remote error %q", i, row.Error)
+		}
+		if !reflect.DeepEqual(row.Result, want) {
+			t.Fatalf("schedule %d: wire result diverged from local execution\ngot  %+v\nwant %+v",
+				i, row.Result, want)
+		}
+	}
+}
+
+// TestRemoteExecutorSentinelErrors pins the error identity mapping: a
+// remote step-limit failure must satisfy errors.Is(err, sim.ErrStepLimit)
+// with the server's exact error text, and a remotely rejected schedule
+// must come back as ski.ErrBadSchedule — the identities the fault layer's
+// hang classification and the schedule validators contract on.
+func TestRemoteExecutorSentinelErrors(t *testing.T) {
+	k, c, cti, scheds := execFixture(t)
+	ex := NewRemoteExecutor(k, c)
+	if ex.Name() != "remote" || ex.Kernel() != k {
+		t.Fatalf("remote executor identity broken: name %q", ex.Name())
+	}
+
+	_, werr := ski.ExecuteSteps(k, cti, scheds[0], 1)
+	if !errors.Is(werr, sim.ErrStepLimit) {
+		t.Fatalf("fixture: local 1-step execution did not hit the step limit: %v", werr)
+	}
+	_, gerr := ex.ExecuteSteps(cti, scheds[0], 1)
+	if !errors.Is(gerr, sim.ErrStepLimit) {
+		t.Fatalf("remote step-limit error %v does not wrap sim.ErrStepLimit", gerr)
+	}
+	if gerr.Error() != werr.Error() {
+		t.Fatalf("error text diverged:\n  local:  %v\n  remote: %v", werr, gerr)
+	}
+
+	bad := scheds[0]
+	bad.Hints = append([]ski.Hint{{Thread: 7}}, bad.Hints...)
+	if _, err := ex.Execute(cti, bad); !errors.Is(err, ski.ErrBadSchedule) {
+		t.Fatalf("remote bad-schedule error %v does not wrap ski.ErrBadSchedule", err)
+	}
+
+	got, err := ex.Execute(cti, scheds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ski.Execute(k, cti, scheds[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("remote executor result diverged from local execution")
+	}
+}
+
+// TestExecuteCTIRequiresStation pins the 501 path: a server without a
+// kernel cannot execute and the client surfaces the rejection as an
+// error, not a panic.
+func TestExecuteCTIRequiresStation(t *testing.T) {
+	s := New(NewRegistry(), Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { s.Close() })
+	c := NewHTTPClient([]string{ts.URL}, 0)
+
+	k := kernel.Generate(kernel.SmallConfig(61))
+	gen := syz.NewGenerator(k, 62)
+	cti := ski.CTI{ID: 1, A: gen.Generate(), B: gen.Generate()}
+	if _, err := c.ExecuteCTI(context.Background(), cti, []ski.Schedule{{}}, 0); err == nil {
+		t.Fatal("stationless server accepted an execution request")
+	}
+}
+
+// TestRemoteRegisteredInExploreRegistry pins serve's init registration:
+// the backend resolves by name through explore.NewExecutor, and rejects
+// environments without a kernel or URLs.
+func TestRemoteRegisteredInExploreRegistry(t *testing.T) {
+	k, c, cti, scheds := execFixture(t)
+	found := false
+	for _, name := range explore.Executors() {
+		if name == "remote" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("remote missing from explore.Executors() = %v", explore.Executors())
+	}
+	if _, err := explore.NewExecutor("remote", explore.Env{Kernel: k}); err == nil {
+		t.Fatal("remote factory accepted an Env without URLs")
+	}
+	if _, err := explore.NewExecutor("remote", explore.Env{URLs: []string{"http://x"}}); err == nil {
+		t.Fatal("remote factory accepted an Env without a kernel")
+	}
+	ex, err := explore.NewExecutor("remote", explore.Env{Kernel: k, URLs: c.urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ex.Execute(cti, scheds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ski.Execute(k, cti, scheds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("registry-built remote executor diverged from local execution")
+	}
+}

@@ -29,6 +29,12 @@ import (
 // semantics skip hints that never fire.
 var ErrBadSchedule = errors.New("ski: invalid schedule")
 
+// InstrRef aliases the simulator's instruction reference so pipeline
+// consumers can name schedule switch points and race sites through the
+// executor layer alone, without importing internal/sim (the import-boundary
+// rule `make lint` enforces).
+type InstrRef = sim.InstrRef
+
 // CTI is a concurrent test input: a pair of sequential test inputs that
 // will run on two kernel threads.
 type CTI struct {

@@ -21,7 +21,6 @@ import (
 	"snowcat/internal/explore"
 	"snowcat/internal/kernel"
 	"snowcat/internal/predictor"
-	"snowcat/internal/sim"
 	"snowcat/internal/ski"
 	"snowcat/internal/strategy"
 	"snowcat/internal/syz"
@@ -35,8 +34,8 @@ var ErrEmptyTrace = errors.New("snowboard: member has empty instruction trace")
 // PairKey identifies an INS-PAIR cluster: a potential inter-thread data
 // flow from a write instruction to a read instruction on one address.
 type PairKey struct {
-	WriteRef sim.InstrRef
-	ReadRef  sim.InstrRef
+	WriteRef ski.InstrRef
+	ReadRef  ski.InstrRef
 	Addr     int32
 }
 
@@ -223,6 +222,14 @@ func Explore(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedules
 // this call performed, including retries.
 func ExploreR(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedules int, seed uint64,
 	res *explore.Resilience, led *explore.Ledger, hooks *explore.Hooks) (bool, int, error) {
+	return ExploreX(explore.DefaultExecutor(k), m, c, bugID, extraSchedules, seed, res, led, hooks)
+}
+
+// ExploreX is ExploreR on an explicit execution backend (see
+// explore.NewExecutor). Every registered backend is pinned DeepEqual to the
+// interpreter, so the hit/exec/error outcome is identical to ExploreR.
+func ExploreX(ex explore.Executor, m Member, c *Cluster, bugID int32, extraSchedules int, seed uint64,
+	res *explore.Resilience, led *explore.Ledger, hooks *explore.Hooks) (bool, int, error) {
 
 	if led == nil {
 		led = explore.NewLedger(explore.CostModel{})
@@ -232,7 +239,7 @@ func ExploreR(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedule
 	gaveUp := false
 	run := func(seq int, sched ski.Schedule) (bool, error) {
 		if res == nil {
-			out, err := ski.Execute(k, m.CTI, sched)
+			out, err := ex.Execute(m.CTI, sched)
 			if err != nil {
 				return false, fmt.Errorf("%w: %w", explore.ErrExec, err)
 			}
@@ -240,7 +247,7 @@ func ExploreR(k *kernel.Kernel, m Member, c *Cluster, bugID int32, extraSchedule
 			execs++
 			return out.HitBug(bugID), nil
 		}
-		rep := res.Execute(k, m.CTI, sched)
+		rep := res.Execute(ex, m.CTI, sched)
 		cand := explore.Candidate{Seq: seq, CTI: m.CTI, Sched: sched}
 		if rep.Attempts > 1 {
 			led.RecordRetries(rep.Attempts - 1)
