@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve bench-fleet
+.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve bench-fleet bench-learn
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ test: lint
 	$(GO) test -race -run 'TestTokenCacheConcurrentReaders|TestBaseContextConcurrentPredict' ./internal/pic
 	$(GO) test -race -run 'TestCompiledMatchesInterpreter|TestCompiledChaosParity' ./internal/ski
 	$(GO) test -race -run 'TestQuant|TestQGCN|TestFused|TestInferStacked' ./internal/nn ./internal/pic ./internal/tensor
+	$(GO) test -race ./internal/stream ./internal/trainer
 
 test-race:
 	$(GO) test -race ./...
@@ -66,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzExecutorParity$$' -fuzztime 10s ./internal/explore
 	$(GO) test -run '^$$' -fuzz '^FuzzCTGraphBuild$$' -fuzztime 10s ./internal/ctgraph
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime 10s ./internal/serve
+	$(GO) test -run '^$$' -fuzz '^FuzzExampleRoundTrip$$' -fuzztime 10s ./internal/stream
 
 vet:
 	$(GO) vet ./...
@@ -165,3 +167,29 @@ bench-fleet:
 			print "\n]" }' bench_fleet.out > BENCH_fleet.json
 	rm -f bench_fleet.out
 	cat BENCH_fleet.json
+
+# Closed-loop learning benchmark: the same budget-capped MLPCT campaign
+# with the launch model frozen vs the online trainer retraining and
+# hot-swapping mid-campaign, snapshotted to BENCH_learn.json. The
+# headline column is execs_to_first_bug (dynamic executions spent before
+# the first planted bug fires; lower is better); the final entry derives
+# the closed-loop win as the frozen/retrained ratio (> 1 means the
+# retrained predictor reached a planted bug earlier).
+bench-learn:
+	$(GO) test -run xxx -bench 'BenchmarkLearnLoop' -benchtime 1x . | tee bench_learn.out
+	awk 'BEGIN { print "[" } \
+		/^BenchmarkLearnLoop/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $$2; \
+			for (i = 3; i < NF; i += 2) { \
+				unit = $$(i+1); gsub(/[\/-]/, "_", unit); \
+				printf ", \"%s\": %s", unit, $$i; \
+				val[name "|" unit] = $$i; \
+			} \
+			printf "}"; sep=",\n" } \
+		END { \
+			fz = val["BenchmarkLearnLoop/frozen|execs_to_first_bug"]; \
+			rt = val["BenchmarkLearnLoop/retrained|execs_to_first_bug"]; \
+			if (fz > 0 && rt > 0) printf "%s  {\"name\": \"closed-loop-win\", \"frozen_over_retrained_execs_to_bug\": %.2f}", sep, fz / rt; \
+			print "\n]" }' bench_learn.out > BENCH_learn.json
+	rm -f bench_learn.out
+	cat BENCH_learn.json

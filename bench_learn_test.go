@@ -1,0 +1,117 @@
+// Benchmarks for the closed learning loop: the same budget-capped MLPCT
+// campaign run twice — once with the launch model frozen for the whole
+// run, once with the online trainer streaming executed outcomes back,
+// warm-start retraining, and hot-swapping the served model mid-campaign.
+// The reported metric is the paper's motivating quantity: how many
+// dynamic executions the campaign spends before the first planted
+// concurrency bug fires. Retraining on the campaign's own stream finds
+// the bug earlier (see EXPERIMENTS.md and BENCH_learn.json).
+package snowcat_test
+
+import (
+	"sync"
+	"testing"
+
+	"snowcat/internal/campaign"
+	"snowcat/internal/dataset"
+	"snowcat/internal/kernel"
+	"snowcat/internal/mlpct"
+	"snowcat/internal/pic"
+	"snowcat/internal/strategy"
+	"snowcat/internal/trainer"
+)
+
+type learnFixtureT struct {
+	k  *kernel.Kernel
+	m  *pic.Model
+	tc *pic.TokenCache
+}
+
+var (
+	learnOnce sync.Once
+	learnFix  *learnFixtureT
+)
+
+// getLearnFixture trains a deliberately small launch model — one epoch
+// over a thin slice of the kernel — so the benchmark measures what the
+// online loop adds on top of a weak starting point, the regime the loop
+// exists for.
+func getLearnFixture() *learnFixtureT {
+	learnOnce.Do(func() {
+		f := &learnFixtureT{}
+		// A small kernel with a denser bug population: planted-bug
+		// discovery needs the right syscall pair, argument, and window,
+		// so at SmallConfig's 4 bugs a tractable campaign rarely fires
+		// one. 12 bugs keeps the benchmark honest (same discovery
+		// machinery) while making execs-to-first-bug measurable.
+		kcfg := kernel.SmallConfig(301)
+		kcfg.NumBugs = 12
+		f.k = kernel.Generate(kcfg)
+		f.m = pic.New(pic.Config{Dim: 16, Layers: 2, LR: 3e-3, Epochs: 1, Seed: 302, PosWeight: 8})
+		f.tc = pic.NewTokenCache(f.k, f.m.Vocab)
+
+		col := dataset.NewCollector(f.k, 303)
+		ds, err := col.Collect(dataset.Config{Seed: 304, NumCTIs: 6, InterleavingsPerCTI: 4})
+		if err != nil {
+			panic(err)
+		}
+		train, valid, _ := ds.SplitByCTI(0.7, 0.3, 305)
+		if _, err := f.m.Train(train.Flatten(), f.tc); err != nil {
+			panic(err)
+		}
+		f.m.Tune(valid.Flatten(), f.tc)
+		learnFix = f
+	})
+	return learnFix
+}
+
+// learnLoopConfig is the shared campaign shape; only the retrain schedule
+// differs between the frozen and retrained variants. Discovery rides the
+// paper's S1 novelty strategy (Table 3's bug-finder); S4 is the loop's
+// label-efficiency strategy and is exercised by the unit suite and the
+// CI learn smoke.
+func learnLoopConfig(name string, strat strategy.Strategy, retrainEvery float64) trainer.LoopConfig {
+	return trainer.LoopConfig{
+		Name: name, Seed: 309, NumCTIs: 150,
+		Opts:     mlpct.Options{ExecBudget: 20, InferenceCap: 640, Batch: 32},
+		Cost:     campaign.PaperCosts(),
+		Strat:    strat,
+		Parallel: 4,
+		Train:    trainer.Config{RetrainEvery: retrainEvery, MinNew: 8, Tune: true},
+	}
+}
+
+// BenchmarkLearnLoop/frozen vs BenchmarkLearnLoop/retrained: identical
+// CTI stream, identical budgets, identical launch model; the only delta
+// is whether the loop closes. execs_to_first_bug is the headline metric
+// (lower is better); races and published versions give the context.
+func BenchmarkLearnLoop(b *testing.B) {
+	f := getLearnFixture()
+	for _, v := range []struct {
+		name  string
+		every float64
+	}{
+		{"frozen", 0},
+		{"retrained", 60},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := strategy.New("s1")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := trainer.Learn(f.k, f.m, f.tc, learnLoopConfig("LEARN-"+v.name, st, v.every))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExecsToFirstBug < 0 {
+					b.Fatal("campaign never hit a planted bug; the benchmark seed is broken")
+				}
+				b.ReportMetric(float64(res.ExecsToFirstBug), "execs_to_first_bug")
+				b.ReportMetric(float64(res.Hist.TotalExecs), "total_execs")
+				b.ReportMetric(float64(res.Hist.FinalRaces), "races")
+				b.ReportMetric(float64(len(res.Versions)), "versions")
+			}
+		})
+	}
+}

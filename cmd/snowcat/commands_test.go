@@ -43,6 +43,7 @@ func TestSharedFlagSets(t *testing.T) {
 		{"serve", cmdServe, [][]string{parallel, serving, quantized}},
 		{"loadgen", cmdLoadgen, [][]string{parallel, serving, quantized}},
 		{"fleet", cmdFleet, [][]string{quantized}},
+		{"learn", cmdLearn, [][]string{parallel, chaos}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -123,6 +124,9 @@ func TestCmdFlagParsing(t *testing.T) {
 		{"snowboard missing model", cmdSnowboard, []string{"-model", "/nonexistent/pic.gob"}, true},
 		{"campaign missing model", cmdCampaign, []string{"-model", "/nonexistent/pic.gob"}, true},
 		{"razzer missing model", cmdRazzer, []string{"-model", "/nonexistent/pic.gob"}, true},
+		{"learn bad flag", cmdLearn, []string{"-bogus"}, true},
+		{"learn bad strategy", cmdLearn, []string{"-strategy", "s9"}, true},
+		{"learn missing model", cmdLearn, []string{"-model", "/nonexistent/pic.gob"}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -155,6 +159,11 @@ func TestCmdSmallKernelRuns(t *testing.T) {
 			[]string{"-seed", "9", "-model", model, "-pool", "8", "-schedules", "8", "-maxctis", "3", "-parallel", "4"}},
 		{"snowboard parallel", cmdSnowboard,
 			[]string{"-seed", "9", "-model", model, "-members", "5", "-trials", "10", "-parallel", "4"}},
+		{"learn retrained s4", cmdLearn,
+			[]string{"-seed", "9", "-model", model, "-ctis", "4", "-budget", "3",
+				"-retrain-every", "20", "-min-new", "2", "-tune", "-strategy", "s4", "-parallel", "2"}},
+		{"learn frozen", cmdLearn,
+			[]string{"-seed", "9", "-model", model, "-ctis", "3", "-budget", "3", "-retrain-every", "0"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -9,6 +9,9 @@
 //	finetune   — fine-tune a saved model on a mutated kernel version (§5.4)
 //	eval       — evaluate a saved model against the §5.2.1 baselines
 //	campaign   — run PCT vs MLPCT testing campaigns (§5.3.2)
+//	learn      — close the loop: stream executed outcomes into the
+//	             dataset, warm-start retrain, hot-swap served versions
+//	             mid-campaign on the simulated clock
 //	razzer     — reproduce planted races with the Razzer variants (§5.6.1)
 //	snowboard  — compare cluster exemplar samplers (§5.6.2)
 //	serve      — run the batching prediction server (see internal/serve)
@@ -42,6 +45,7 @@ func init() {
 		{"finetune", "fine-tune a saved model on a mutated kernel", cmdFineTune},
 		{"eval", "evaluate a saved model against the baselines", cmdEval},
 		{"campaign", "run PCT vs MLPCT campaigns", cmdCampaign},
+		{"learn", "run the closed loop: stream outcomes, retrain, hot-swap", cmdLearn},
 		{"razzer", "reproduce planted races with Razzer variants", cmdRazzer},
 		{"snowboard", "compare cluster exemplar samplers", cmdSnowboard},
 		{"trace", "print an annotated interleaving timeline", cmdTrace},

@@ -268,6 +268,10 @@ func (f *Fold) SettleCTI(c Config, p *mlpct.Plan, profs Profiles, execs []ExecOu
 	})
 }
 
+// Seconds exposes the fold's simulated clock — what the online trainer's
+// retrain-every schedule ticks against.
+func (f *Fold) Seconds() float64 { return f.led.Seconds() }
+
 // Finish seals the accumulator into the campaign history. The fold must
 // not be settled further afterwards.
 func (f *Fold) Finish() *History {

@@ -176,6 +176,21 @@ func (c *Collector) LabelWithBase(base *ctgraph.Base, sched ski.Schedule) (*pic.
 	}, res, nil
 }
 
+// LabelResult labels an already-executed result without re-running it:
+// the streaming ingest path, where the execution happened inside the
+// exploration pipeline and only the labelling remains. The example is
+// identical to what LabelWithBase would have produced for the same
+// (cti, sched) — the executors are deterministic — minus the 2.8 s
+// execution charge.
+func (c *Collector) LabelResult(base *ctgraph.Base, sched ski.Schedule, res *ski.Result) *pic.Example {
+	g := base.WithSchedule(sched)
+	return &pic.Example{
+		G:     g,
+		Y:     ctgraph.Labels(g, res),
+		YFlow: ctgraph.FlowLabels(g, res, race.DefaultWindow),
+	}
+}
+
 // Collect gathers a dataset per cfg: cfg.NumCTIs random CTIs, up to
 // cfg.InterleavingsPerCTI unique interleavings each, every one dynamically
 // executed and labelled.

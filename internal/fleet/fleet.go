@@ -56,14 +56,15 @@ type Config struct {
 // restarted shard starts cold (empty station and context caches) but
 // scores identically, which is what the coordinator's retry leans on.
 type Fleet struct {
-	k     *kernel.Kernel
-	model *pic.Model
-	tc    *pic.TokenCache
-	cfg   Config
-	ring  *serve.Ring
+	k    *kernel.Kernel
+	cfg  Config
+	ring *serve.Ring
 
-	mu     sync.Mutex
-	shards []*serve.Server // nil while a shard is down
+	mu      sync.Mutex
+	model   *pic.Model      // current model; advances on Publish
+	tc      *pic.TokenCache // current token cache
+	version string          // current version name; "v1" until Publish
+	shards  []*serve.Server // nil while a shard is down
 }
 
 // New starts a fleet of cfg.Shards shards serving the given model.
@@ -72,7 +73,7 @@ func New(k *kernel.Kernel, model *pic.Model, tc *pic.TokenCache, cfg Config) (*F
 		return nil, fmt.Errorf("fleet: shard count must be positive, got %d", cfg.Shards)
 	}
 	f := &Fleet{
-		k: k, model: model, tc: tc, cfg: cfg,
+		k: k, model: model, tc: tc, version: "v1", cfg: cfg,
 		ring:   serve.NewRing(cfg.Shards, cfg.Replicas),
 		shards: make([]*serve.Server, cfg.Shards),
 	}
@@ -88,13 +89,15 @@ func New(k *kernel.Kernel, model *pic.Model, tc *pic.TokenCache, cfg Config) (*F
 }
 
 // newShard boots one shard server with its own registry (hot-swaps are
-// per-shard) over the shared read-only model weights.
+// per-shard) over the shared read-only model weights. The shard starts on
+// the fleet's *current* version — a shard restarted after a Publish comes
+// back serving the newest model, not the boot-time one.
 func (f *Fleet) newShard() (*serve.Server, error) {
 	reg := serve.NewRegistry()
-	if err := reg.Load("v1", f.model, f.tc); err != nil {
+	if err := reg.Load(f.version, f.model, f.tc); err != nil {
 		return nil, fmt.Errorf("fleet: shard registry: %w", err)
 	}
-	if _, err := reg.Activate("v1"); err != nil {
+	if _, err := reg.Activate(f.version); err != nil {
 		return nil, fmt.Errorf("fleet: shard registry: %w", err)
 	}
 	return serve.New(reg, serve.Config{
@@ -147,6 +150,47 @@ func (f *Fleet) Restart(i int) error {
 	}
 	f.shards[i] = s
 	return nil
+}
+
+// Publish rolls a new model version out fleet-wide: every live shard's
+// registry loads it and hot-swaps to it (serve.Server.Swap — in-flight
+// batches finish on the snapshot they acquired, so no response ever mixes
+// versions), and the fleet's notion of the current model advances so a
+// later Restart boots straight onto it. Down shards are skipped — they
+// pick the version up when Restart rebuilds their registry. The model
+// must be ready for concurrent inference (a fresh clone, never weights a
+// trainer keeps mutating). Publish satisfies the trainer's Publisher
+// seam.
+func (f *Fleet) Publish(version string, m *pic.Model, tc *pic.TokenCache) error {
+	f.mu.Lock()
+	if version == f.version {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: version %q is already current", version)
+	}
+	f.model, f.tc, f.version = m, tc, version
+	shards := append([]*serve.Server(nil), f.shards...)
+	f.mu.Unlock()
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		// A shard restarted between the snapshot and here already booted
+		// on the new version; the duplicate load is success, not failure.
+		if err := s.Registry().Load(version, m, tc); err != nil && !errors.Is(err, serve.ErrDuplicateModel) {
+			return fmt.Errorf("fleet: publishing %q to shard %d: %w", version, i, err)
+		}
+		if err := s.Swap(version); err != nil {
+			return fmt.Errorf("fleet: activating %q on shard %d: %w", version, i, err)
+		}
+	}
+	return nil
+}
+
+// Version returns the fleet's current model version name.
+func (f *Fleet) Version() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.version
 }
 
 // Close shuts every live shard down.

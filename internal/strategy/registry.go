@@ -103,4 +103,17 @@ func init() {
 		}
 		return NewS3(limit), nil
 	})
+	// s4's argument is the uncertainty band half-width around the decision
+	// threshold; empty selects DefaultS4Margin.
+	Register("s4", func(arg string) (Strategy, error) {
+		margin := 0.0
+		if arg != "" {
+			m, err := strconv.ParseFloat(arg, 64)
+			if err != nil || m <= 0 || m >= 1 {
+				return nil, fmt.Errorf("s4 margin must be a float in (0, 1), got %q", arg)
+			}
+			margin = m
+		}
+		return NewS4(margin), nil
+	})
 }

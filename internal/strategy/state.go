@@ -116,6 +116,36 @@ func (s *S3) Load(st State) error {
 	return nil
 }
 
+// S4's memory is per-block uncertain-trial counts — the same shape as
+// S3's, reusing the Trial* snapshot fields (Name disambiguates on Load).
+func (s *S4) Save() State {
+	st := State{Name: s.Name(), TrialBlocks: make([]int32, 0, len(s.trials))}
+	for b := range s.trials {
+		st.TrialBlocks = append(st.TrialBlocks, b)
+	}
+	sort.Slice(st.TrialBlocks, func(i, j int) bool { return st.TrialBlocks[i] < st.TrialBlocks[j] })
+	st.TrialCounts = make([]int, len(st.TrialBlocks))
+	for i, b := range st.TrialBlocks {
+		st.TrialCounts[i] = s.trials[b]
+	}
+	return st
+}
+
+func (s *S4) Load(st State) error {
+	if err := checkName(st, s.Name()); err != nil {
+		return err
+	}
+	if len(st.TrialBlocks) != len(st.TrialCounts) {
+		return fmt.Errorf("strategy: S4 snapshot with %d blocks but %d counts",
+			len(st.TrialBlocks), len(st.TrialCounts))
+	}
+	s.trials = make(map[int32]int, len(st.TrialBlocks))
+	for i, b := range st.TrialBlocks {
+		s.trials[b] = st.TrialCounts[i]
+	}
+	return nil
+}
+
 func checkName(st State, want string) error {
 	if st.Name != want {
 		return fmt.Errorf("strategy: snapshot of %q loaded into %q", st.Name, want)

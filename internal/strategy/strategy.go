@@ -17,10 +17,12 @@ import (
 )
 
 // Prediction is a predictor's output for one CT graph: thresholded labels
-// plus the raw per-vertex probabilities.
+// plus the raw per-vertex probabilities and the decision threshold that
+// produced the labels (needed by margin-based strategies like S4).
 type Prediction struct {
-	Labels []bool
-	Scores []float64
+	Labels    []bool
+	Scores    []float64
+	Threshold float64
 }
 
 // FromScores packages raw predictor scores for the selection strategies:
@@ -30,7 +32,7 @@ func FromScores(scores []float64, th float64) Prediction {
 	for i, s := range scores {
 		labels[i] = s >= th
 	}
-	return Prediction{Labels: labels, Scores: scores}
+	return Prediction{Labels: labels, Scores: scores, Threshold: th}
 }
 
 // Strategy judges whether a candidate CT's predicted coverage is worth a

@@ -1,0 +1,65 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+
+	"snowcat/internal/ctgraph"
+)
+
+// DefaultS4Margin is the uncertainty band half-width when a spec gives
+// none: scores within ±0.15 of the decision threshold count as uncertain.
+const DefaultS4Margin = 0.15
+
+// s4Limit caps how many times one block may anchor an uncertain
+// selection; without it a persistently borderline block would be selected
+// forever, turning active learning into a fixed-point loop.
+const s4Limit = 3
+
+// S4 — uncertainty sampling, the active-learning strategy of the online
+// loop. Where S1–S3 chase predicted-*positive* novelty, S4 executes the
+// candidates the model is least sure about: those with a vertex whose
+// score falls within Margin of the decision threshold. Executing exactly
+// the borderline candidates yields the labels that move the decision
+// boundary most when the trainer folds them back in, which is why the
+// retraining loop defaults to it.
+type S4 struct {
+	Margin float64
+	trials map[int32]int
+}
+
+// NewS4 returns an uncertainty strategy with the given band half-width;
+// margin <= 0 selects DefaultS4Margin.
+func NewS4(margin float64) *S4 {
+	if margin <= 0 {
+		margin = DefaultS4Margin
+	}
+	return &S4{Margin: margin, trials: make(map[int32]int)}
+}
+
+// uncertain reports whether vertex i's score sits inside the band. A
+// prediction without raw scores has no measurable uncertainty, so nothing
+// qualifies.
+func (s *S4) uncertain(p Prediction, i int) bool {
+	return i < len(p.Scores) && math.Abs(p.Scores[i]-p.Threshold) <= s.Margin
+}
+
+func (s *S4) Interesting(g *ctgraph.Graph, p Prediction) bool {
+	for i := range g.Vertices {
+		if s.uncertain(p, i) && s.trials[g.Vertices[i].Block] < s4Limit {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *S4) Commit(g *ctgraph.Graph, p Prediction) {
+	for i := range g.Vertices {
+		if s.uncertain(p, i) {
+			s.trials[g.Vertices[i].Block]++
+		}
+	}
+}
+
+func (s *S4) Name() string { return fmt.Sprintf("S4(margin=%.2g)", s.Margin) }
+func (s *S4) Reset()       { s.trials = make(map[int32]int) }

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/ctgraph"
+	"snowcat/internal/faults"
+	"snowcat/internal/fleet"
+	"snowcat/internal/pic"
+	"snowcat/internal/syz"
+)
+
+// The chaos property: a fleet shard dying mid-stream and the driver
+// replaying the interrupted round from the top leaves the accumulated
+// dataset bit-identical to an undisturbed run — the replayed prefix
+// deduplicates instead of double-counting.
+func TestBusShardDeathMidStreamReplays(t *testing.T) {
+	col, outs := streamFixture(t, 61, 4, 3)
+	clean, _ := drain(t, col, outs, Config{})
+
+	m := pic.New(pic.Config{Dim: 12, Layers: 2, LR: 3e-3, Epochs: 1, Seed: 62, PosWeight: 8})
+	tc := pic.NewTokenCache(col.K, m.Vocab)
+	fl, err := fleet.New(col.K, m, tc, fleet.Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	client := fl.Client("chaos")
+
+	// Per-CTI base graphs, so the driver can score the graphs the stream
+	// will label (as the learn loop scores candidates before executing).
+	bases := map[int64]*ctgraph.Base{}
+	base := func(o Outcome) *ctgraph.Base {
+		b, ok := bases[o.CTI.ID]
+		if !ok {
+			pa, err := syz.Run(col.K, o.CTI.A)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := syz.Run(col.K, o.CTI.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b = col.Builder.BuildBase(o.CTI, pa, pb)
+			bases[o.CTI.ID] = b
+		}
+		return b
+	}
+
+	// The deterministic fault injector picks which publish the shard
+	// death interrupts — the same chaos at every run of this test.
+	inj := faults.New(63, 0.3)
+	bus := New(col, Config{Buffer: 3, Workers: 2})
+
+	// The driver streams in rounds: score through the fleet, publish. A
+	// shard death mid-round aborts the round after some outcomes already
+	// published; the driver restarts the shard and replays the round from
+	// the top, so the bus sees the aborted prefix twice.
+	const roundLen = 4
+	killed := 0
+	for start := 0; start < len(outs); start += roundLen {
+		end := start + roundLen
+		if end > len(outs) {
+			end = len(outs)
+		}
+		round := outs[start:end]
+		for {
+			err := func() error {
+				for _, o := range round {
+					bus.Publish(o.CTI, o.Sched, o.Res)
+					if inj.Decide(o.CTI.ID, o.Sched.Key(), killed) != faults.None {
+						// The shard this CTI routes to dies now — after
+						// part of the round already streamed.
+						fl.Kill(fl.Ring().Shard(o.CTI.ID))
+						killed++
+					}
+					if _, err := client.ScoreE(base(o).WithSchedule(o.Sched)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+			if err == nil {
+				break
+			}
+			var down fleet.ShardDownError
+			if !errors.As(err, &down) {
+				t.Fatal(err)
+			}
+			if err := fl.Restart(down.Shard); err != nil {
+				t.Fatal(err)
+			}
+			// Replay the whole round; already-published outcomes dedupe.
+		}
+	}
+	if killed == 0 {
+		t.Fatal("fault injector never killed a shard; raise the rate")
+	}
+
+	chaotic, err := bus.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, chaotic) {
+		t.Fatal("shard-death replay changed the accumulated dataset")
+	}
+	if st := bus.Stats(); st.Deduped == 0 {
+		t.Fatal("replay never exercised the dedupe path")
+	}
+}

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+)
+
+// recordFromInts builds a structured Record from fuzz-chosen integers, so
+// the fuzzer explores the encode→decode direction with well-formed inputs
+// while the raw-bytes direction (below) explores decode robustness.
+func recordFromInts(cti int64, h1, h2, h3, q1, q2 int32, yBits, flowBits uint8, pattern uint64) *Record {
+	r := &Record{CTI: cti}
+	r.Sched.Hints = []ski.Hint{
+		{Thread: h1, Ref: sim.InstrRef{Block: h2, Idx: h3}},
+	}
+	if q1 != 0 {
+		r.Sched.IRQs = []ski.IRQHint{
+			{Thread: q1, Ref: sim.InstrRef{Block: q2, Idx: h1}, IRQ: h3},
+		}
+	}
+	r.Y = make([]bool, int(yBits))
+	for i := range r.Y {
+		r.Y[i] = pattern&(1<<(uint(i)%64)) != 0
+	}
+	if flowBits > 0 {
+		r.YFlow = make([]bool, int(flowBits)-1)
+		for i := range r.YFlow {
+			r.YFlow[i] = pattern&(1<<((uint(i)+3)%64)) != 0
+		}
+	}
+	return r
+}
+
+// FuzzExampleRoundTrip pins the example wire encoding both ways: every
+// encodable record round-trips exactly (encode → decode → re-encode is
+// the identity), and arbitrary bytes either decode into a record that
+// re-encodes to the consumed prefix or fail cleanly with ErrBadRecord —
+// never a panic, never an inconsistent parse.
+func FuzzExampleRoundTrip(f *testing.F) {
+	f.Add(int64(0), int32(0), int32(0), int32(0), int32(0), int32(0), uint8(0), uint8(0), uint64(0), []byte{})
+	f.Add(int64(7), int32(1), int32(40), int32(2), int32(1), int32(9), uint8(17), uint8(5), uint64(0xa5a5), []byte{'S', 1})
+	f.Add(int64(-3), int32(-1), int32(5), int32(0), int32(0), int32(0), uint8(8), uint8(1), uint64(0xff), []byte{'S', 1, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, cti int64, h1, h2, h3, q1, q2 int32, yBits, flowBits uint8, pattern uint64, raw []byte) {
+		// Direction 1: structured round-trip.
+		r := recordFromInts(cti, h1, h2, h3, q1, q2, yBits, flowBits, pattern)
+		enc := r.Marshal()
+		got, n, err := UnmarshalRecord(enc)
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("round trip mutated the record:\n in %+v\nout %+v", r, got)
+		}
+		if re := got.Marshal(); !bytes.Equal(enc, re) {
+			t.Fatal("re-encode differs from the original encoding")
+		}
+		// Streams concatenate.
+		two, err := DecodeRecords(EncodeRecords([]Record{*r, *got}))
+		if err != nil || len(two) != 2 {
+			t.Fatalf("stream round trip: %v (%d records)", err, len(two))
+		}
+
+		// Direction 2: arbitrary bytes decode canonically or not at all.
+		dec, n, err := UnmarshalRecord(raw)
+		if err != nil {
+			if !errors.Is(err, ErrBadRecord) {
+				t.Fatalf("decode failed with a foreign error: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(raw) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(raw))
+		}
+		if re := dec.Marshal(); !bytes.Equal(re, raw[:n]) {
+			t.Fatalf("accepted non-canonical bytes: %x -> %x", raw[:n], re)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"snowcat/internal/ski"
+)
+
+// Record is the wire form of one labelled streamed outcome: the CTI
+// identity, the schedule that ran, and the label bit-vectors. Graphs are
+// not shipped — a receiver sharing the kernel rebuilds them from its own
+// base skeletons (ctgraph.Base.WithSchedule is deterministic), which
+// keeps label traffic a few dozen bytes per execution instead of a full
+// graph. YFlow may be nil (kernels without the §6 extension); Y may not.
+type Record struct {
+	CTI   int64
+	Sched ski.Schedule
+	Y     []bool
+	YFlow []bool
+}
+
+// Wire format (little-endian varints, length-prefixed sections):
+//
+//	magic 'S', version 1
+//	cti: uvarint(zigzag)
+//	hints: uvarint count, then per hint 3 zigzag varints (thread, block, idx)
+//	irqs: uvarint count, then per injection 4 zigzag varints
+//	y: uvarint bit count, then ceil(n/8) packed bytes (LSB first)
+//	yflow: uvarint bit count + 1 (0 encodes nil), then packed bytes
+const (
+	recMagic   = 'S'
+	recVersion = 1
+	// recMaxBits bounds the label vectors a decoder will allocate for —
+	// far above any real graph, small enough that a hostile length prefix
+	// cannot balloon memory.
+	recMaxBits = 1 << 20
+	// recMaxHints bounds the schedule sections the same way.
+	recMaxHints = 1 << 16
+)
+
+// ErrBadRecord reports undecodable record bytes.
+var ErrBadRecord = errors.New("stream: bad record")
+
+func zig(x int64) uint64   { return uint64(x<<1) ^ uint64(x>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendBits(dst []byte, bits []bool) []byte {
+	var cur byte
+	for i, b := range bits {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(bits)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// AppendMarshal appends r's wire encoding to dst and returns the
+// extended slice.
+func (r *Record) AppendMarshal(dst []byte) []byte {
+	dst = append(dst, recMagic, recVersion)
+	dst = binary.AppendUvarint(dst, zig(r.CTI))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Sched.Hints)))
+	for _, h := range r.Sched.Hints {
+		dst = binary.AppendUvarint(dst, zig(int64(h.Thread)))
+		dst = binary.AppendUvarint(dst, zig(int64(h.Ref.Block)))
+		dst = binary.AppendUvarint(dst, zig(int64(h.Ref.Idx)))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Sched.IRQs)))
+	for _, q := range r.Sched.IRQs {
+		dst = binary.AppendUvarint(dst, zig(int64(q.Thread)))
+		dst = binary.AppendUvarint(dst, zig(int64(q.Ref.Block)))
+		dst = binary.AppendUvarint(dst, zig(int64(q.Ref.Idx)))
+		dst = binary.AppendUvarint(dst, zig(int64(q.IRQ)))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Y)))
+	dst = appendBits(dst, r.Y)
+	if r.YFlow == nil {
+		dst = binary.AppendUvarint(dst, 0)
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(r.YFlow))+1)
+		dst = appendBits(dst, r.YFlow)
+	}
+	return dst
+}
+
+// Marshal returns r's wire encoding.
+func (r *Record) Marshal() []byte { return r.AppendMarshal(nil) }
+
+// decoder is a cursor over record bytes.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at %d", ErrBadRecord, d.off)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *decoder) svarint() (int64, error) {
+	u, err := d.uvarint()
+	return unzig(u), err
+}
+
+func (d *decoder) i32() (int32, error) {
+	v, err := d.svarint()
+	if err != nil {
+		return 0, err
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: value %d overflows int32", ErrBadRecord, v)
+	}
+	return int32(v), nil
+}
+
+func (d *decoder) count(max int, what string) (int, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > uint64(max) {
+		return 0, fmt.Errorf("%w: %s count %d exceeds %d", ErrBadRecord, what, u, max)
+	}
+	return int(u), nil
+}
+
+func (d *decoder) bits(n int) ([]bool, error) {
+	nb := (n + 7) / 8
+	if d.off+nb > len(d.data) {
+		return nil, fmt.Errorf("%w: truncated bit vector", ErrBadRecord)
+	}
+	// Reject set padding bits so every decodable byte string has exactly
+	// one decoding — the round-trip identity the fuzz target pins.
+	if n%8 != 0 {
+		if pad := d.data[d.off+nb-1] >> (n % 8); pad != 0 {
+			return nil, fmt.Errorf("%w: non-zero padding bits", ErrBadRecord)
+		}
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = d.data[d.off+i/8]&(1<<(i%8)) != 0
+	}
+	d.off += nb
+	return out, nil
+}
+
+// UnmarshalRecord decodes one record from the front of data, returning it
+// and the bytes consumed (so records concatenate into streams). Varints
+// are required to be minimal — binary.AppendUvarint's form — so decode
+// followed by encode reproduces the consumed bytes exactly.
+func UnmarshalRecord(data []byte) (*Record, int, error) {
+	d := &decoder{data: data}
+	if len(data) < 2 || data[0] != recMagic || data[1] != recVersion {
+		return nil, 0, fmt.Errorf("%w: bad magic/version", ErrBadRecord)
+	}
+	d.off = 2
+	start := d.off
+	cti, err := d.svarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	r := &Record{CTI: cti}
+	nh, err := d.count(recMaxHints, "hint")
+	if err != nil {
+		return nil, 0, err
+	}
+	if nh > 0 {
+		r.Sched.Hints = make([]ski.Hint, nh)
+		for i := range r.Sched.Hints {
+			h := &r.Sched.Hints[i]
+			if h.Thread, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+			if h.Ref.Block, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+			if h.Ref.Idx, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	nq, err := d.count(recMaxHints, "irq")
+	if err != nil {
+		return nil, 0, err
+	}
+	if nq > 0 {
+		r.Sched.IRQs = make([]ski.IRQHint, nq)
+		for i := range r.Sched.IRQs {
+			q := &r.Sched.IRQs[i]
+			if q.Thread, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+			if q.Ref.Block, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+			if q.Ref.Idx, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+			if q.IRQ, err = d.i32(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	ny, err := d.count(recMaxBits, "label")
+	if err != nil {
+		return nil, 0, err
+	}
+	if r.Y, err = d.bits(ny); err != nil {
+		return nil, 0, err
+	}
+	nf, err := d.count(recMaxBits, "flow label")
+	if err != nil {
+		return nil, 0, err
+	}
+	if nf > 0 {
+		if r.YFlow, err = d.bits(nf - 1); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Minimal-varint check: re-encoding must reproduce the consumed bytes.
+	// Cheap (records are tens of bytes) and it keeps the decodable set in
+	// bijection with the encodable set.
+	if enc := r.AppendMarshal(nil); len(enc)-2 != d.off-start || string(enc[2:]) != string(data[start:d.off]) {
+		return nil, 0, fmt.Errorf("%w: non-canonical encoding", ErrBadRecord)
+	}
+	return r, d.off, nil
+}
+
+// EncodeRecords concatenates the records' wire encodings.
+func EncodeRecords(recs []Record) []byte {
+	var out []byte
+	for i := range recs {
+		out = recs[i].AppendMarshal(out)
+	}
+	return out
+}
+
+// DecodeRecords splits a concatenated record stream.
+func DecodeRecords(data []byte) ([]Record, error) {
+	var out []Record
+	for len(data) > 0 {
+		r, n, err := UnmarshalRecord(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *r)
+		data = data[n:]
+	}
+	return out, nil
+}
