@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve bench-fleet bench-learn
+.PHONY: build lint test test-race vet fuzz-smoke bench bench-parallel bench-predict bench-campaign bench-serve bench-fleet bench-learn bench-amplify
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCTGraphBuild$$' -fuzztime 10s ./internal/ctgraph
 	$(GO) test -run '^$$' -fuzz '^FuzzServeRequest$$' -fuzztime 10s ./internal/serve
 	$(GO) test -run '^$$' -fuzz '^FuzzExampleRoundTrip$$' -fuzztime 10s ./internal/stream
+	$(GO) test -run '^$$' -fuzz '^FuzzAmplifyNeighbors$$' -fuzztime 10s ./internal/amplify
 
 vet:
 	$(GO) vet ./...
@@ -193,3 +194,28 @@ bench-learn:
 			print "\n]" }' bench_learn.out > BENCH_learn.json
 	rm -f bench_learn.out
 	cat BENCH_learn.json
+
+# Bug-amplification benchmarks: the per-family repro-rate table (witness
+# baseline vs amplified rate; the bench itself fails if any family's lift
+# drops below 2x) plus the guided-vs-exhaustive pruning comparison,
+# snapshotted to BENCH_amplify.json. The final derived entry pins the
+# PIC-guided claim: the guided climb executes strictly fewer dynamic
+# trials than the exhaustive one on the same witness and seed.
+bench-amplify:
+	$(GO) test -run xxx -bench 'BenchmarkAmplifyFamily|BenchmarkAmplifyGuided' -benchtime 1x . | tee bench_amplify.out
+	awk 'BEGIN { print "[" } \
+		/^BenchmarkAmplify/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+			printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $$2; \
+			for (i = 3; i < NF; i += 2) { \
+				unit = $$(i+1); gsub(/[\/-]/, "_", unit); \
+				printf ", \"%s\": %s", unit, $$i; \
+				val[name "|" unit] = $$i; \
+			} \
+			printf "}"; sep=",\n" } \
+		/^BenchmarkAmplifyGuided/ { w = val[name "|prune_win_x"]; \
+			if (minw == 0 || w < minw) minw = w } \
+		END { \
+			if (minw > 0) printf "%s  {\"name\": \"guided-pruning-win\", \"min_exhaustive_over_guided_execs\": %.2f}", sep, minw; \
+			print "\n]" }' bench_amplify.out > BENCH_amplify.json
+	rm -f bench_amplify.out
+	cat BENCH_amplify.json

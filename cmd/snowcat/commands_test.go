@@ -44,6 +44,7 @@ func TestSharedFlagSets(t *testing.T) {
 		{"loadgen", cmdLoadgen, [][]string{parallel, serving, quantized}},
 		{"fleet", cmdFleet, [][]string{quantized}},
 		{"learn", cmdLearn, [][]string{parallel, chaos}},
+		{"amplify", cmdAmplify, [][]string{parallel}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -127,6 +128,13 @@ func TestCmdFlagParsing(t *testing.T) {
 		{"learn bad flag", cmdLearn, []string{"-bogus"}, true},
 		{"learn bad strategy", cmdLearn, []string{"-strategy", "s9"}, true},
 		{"learn missing model", cmdLearn, []string{"-model", "/nonexistent/pic.gob"}, true},
+		{"amplify bad flag", cmdAmplify, []string{"-bogus"}, true},
+		{"amplify bad size", cmdAmplify, []string{"-size", "huge"}, true},
+		{"amplify missing model", cmdAmplify, []string{"-model", "/nonexistent/pic.gob"}, true},
+		{"amplify strategy without model", cmdAmplify, []string{"-strategy", "s1"}, true},
+		{"amplify unknown bug", cmdAmplify, []string{"-bug", "999"}, true},
+		{"amplify witness without bug", cmdAmplify, []string{"-witness", "0@b1:0;"}, true},
+		{"amplify bad witness key", cmdAmplify, []string{"-bug", "0", "-witness", "garbage"}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -164,6 +172,11 @@ func TestCmdSmallKernelRuns(t *testing.T) {
 				"-retrain-every", "20", "-min-new", "2", "-tune", "-strategy", "s4", "-parallel", "2"}},
 		{"learn frozen", cmdLearn,
 			[]string{"-seed", "9", "-model", model, "-ctis", "3", "-budget", "3", "-retrain-every", "0"}},
+		{"amplify exhaustive", cmdAmplify,
+			[]string{"-seed", "3", "-bug", "6", "-samples", "50", "-trials", "5", "-rounds", "2", "-parallel", "2"}},
+		{"amplify guided compiled", cmdAmplify,
+			[]string{"-seed", "3", "-bug", "5", "-samples", "200", "-trials", "5", "-rounds", "2",
+				"-model", model, "-top-k", "4", "-strategy", "s1", "-executor", "compiled", "-parallel", "2"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,6 +12,8 @@
 //	learn      — close the loop: stream executed outcomes into the
 //	             dataset, warm-start retrain, hot-swap served versions
 //	             mid-campaign on the simulated clock
+//	amplify    — grow an observed failure's reproduction rate by
+//	             schedule-neighborhood search (optionally PIC-guided)
 //	razzer     — reproduce planted races with the Razzer variants (§5.6.1)
 //	snowboard  — compare cluster exemplar samplers (§5.6.2)
 //	serve      — run the batching prediction server (see internal/serve)
@@ -46,6 +48,7 @@ func init() {
 		{"eval", "evaluate a saved model against the baselines", cmdEval},
 		{"campaign", "run PCT vs MLPCT campaigns", cmdCampaign},
 		{"learn", "run the closed loop: stream outcomes, retrain, hot-swap", cmdLearn},
+		{"amplify", "amplify an observed failure into a reliable reproducer", cmdAmplify},
 		{"razzer", "reproduce planted races with Razzer variants", cmdRazzer},
 		{"snowboard", "compare cluster exemplar samplers", cmdSnowboard},
 		{"trace", "print an annotated interleaving timeline", cmdTrace},

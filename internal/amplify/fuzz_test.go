@@ -1,0 +1,89 @@
+package amplify
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"snowcat/internal/kernel"
+	"snowcat/internal/ski"
+)
+
+var fuzzFixture struct {
+	once   sync.Once
+	k      *kernel.Kernel
+	w      Witness
+	traces [2][]ski.InstrRef
+}
+
+func fuzzSetup(t testing.TB) ([2][]ski.InstrRef, ski.Schedule) {
+	fuzzFixture.once.Do(func() {
+		fuzzFixture.k = familyKernel(3)
+		var bug *kernel.Bug
+		for i := range fuzzFixture.k.Bugs {
+			if fuzzFixture.k.Bugs[i].Kind == kernel.TOCTOU {
+				bug = &fuzzFixture.k.Bugs[i]
+			}
+		}
+		w, err := RacyPairWitness(fuzzFixture.k, bug.ID)
+		if err != nil {
+			panic(err)
+		}
+		fuzzFixture.w = w
+		fuzzFixture.traces = w.traces()
+	})
+	return fuzzFixture.traces, fuzzFixture.w.Sched
+}
+
+// FuzzAmplifyNeighbors drives the neighborhood generator with arbitrary
+// origins carved out of real traces: every emitted candidate must pass
+// schedule validation, candidate keys must be unique, the origin must be
+// excluded, and the whole set must be a pure function of its inputs.
+func FuzzAmplifyNeighbors(f *testing.F) {
+	f.Add(uint(2), uint64(7), uint(0), uint(3), uint(9), false)
+	f.Add(uint(4), uint64(99), uint(5), uint(0), uint(2), true)
+	f.Add(uint(16), uint64(1), uint(30), uint(30), uint(30), false)
+	f.Fuzz(func(t *testing.T, radius uint, seed uint64, p0, p1, p2 uint, dropSecond bool) {
+		traces, base := fuzzSetup(t)
+		// Carve a fuzz-chosen origin out of the real witness: hint switch
+		// points move to arbitrary trace positions, one hint optionally
+		// drops. The origin stays valid by construction; Neighbors must
+		// keep every candidate valid too.
+		origin := ski.Schedule{Hints: append([]ski.Hint(nil), base.Hints...)}
+		for i, p := range []uint{p0, p1, p2} {
+			if i >= len(origin.Hints) {
+				break
+			}
+			th := origin.Hints[i].Thread
+			origin.Hints[i].Ref = traces[th][int(p)%len(traces[th])]
+		}
+		if dropSecond && len(origin.Hints) > 1 {
+			origin.Hints = append(origin.Hints[:1], origin.Hints[2:]...)
+		}
+		if err := origin.Validate(); err != nil {
+			t.Fatalf("fuzz origin invalid: %v", err)
+		}
+
+		r := int(radius % 32)
+		out := Neighbors(origin, traces, r, seed)
+		originKey := origin.Key()
+		seen := make(map[string]bool, len(out))
+		for _, s := range out {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("invalid neighbor %q: %v", s.Key(), err)
+			}
+			key := s.Key()
+			if key == originKey {
+				t.Fatalf("origin %q emitted as its own neighbor", originKey)
+			}
+			if seen[key] {
+				t.Fatalf("duplicate neighbor %q", key)
+			}
+			seen[key] = true
+		}
+		again := Neighbors(origin, traces, r, seed)
+		if !reflect.DeepEqual(out, again) {
+			t.Fatal("Neighbors is not deterministic")
+		}
+	})
+}

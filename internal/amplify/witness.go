@@ -1,0 +1,148 @@
+package amplify
+
+import (
+	"fmt"
+
+	"snowcat/internal/kasm"
+	"snowcat/internal/kernel"
+	"snowcat/internal/sim"
+	"snowcat/internal/ski"
+	"snowcat/internal/syz"
+)
+
+// directedWitness builds the bug's directed CTI — writer syscall with its
+// trigger argument on thread 0, reader on thread 1 — and the sequential
+// profiles, leaving the schedule to the caller.
+func directedWitness(k *kernel.Kernel, bug *kernel.Bug) (Witness, error) {
+	w := Witness{
+		CTI: ski.CTI{
+			ID: int64(bug.ID),
+			A:  &syz.STI{ID: 1, Calls: []sim.Call{{Syscall: bug.WriterSyscall, Args: []int64{bug.TriggerArg}}}},
+			B:  &syz.STI{ID: 2, Calls: []sim.Call{{Syscall: bug.ReaderSyscall, Args: []int64{0}}}},
+		},
+		BugID: bug.ID,
+	}
+	var err error
+	if w.ProfA, err = syz.Run(k, w.CTI.A); err != nil {
+		return Witness{}, fmt.Errorf("amplify: writer profile: %w", err)
+	}
+	if w.ProfB, err = syz.Run(k, w.CTI.B); err != nil {
+		return Witness{}, fmt.Errorf("amplify: reader profile: %w", err)
+	}
+	return w, nil
+}
+
+// WitnessUnder builds the directed-CTI witness for the planted bug under
+// the given schedule: it verifies the schedule actually fires the bug and
+// attaches the failing run's coverage traces as the witness's coordinate
+// system. This is how an externally supplied schedule key (the CLI's
+// -witness flag) becomes an amplifiable witness.
+func WitnessUnder(k *kernel.Kernel, bugID int32, sched ski.Schedule) (Witness, error) {
+	bug := findBug(k, bugID)
+	if bug == nil {
+		return Witness{}, fmt.Errorf("%w: no planted bug %d", ErrBadWitness, bugID)
+	}
+	if err := sched.Validate(); err != nil {
+		return Witness{}, fmt.Errorf("%w: %w", ErrBadWitness, err)
+	}
+	w, err := directedWitness(k, bug)
+	if err != nil {
+		return Witness{}, err
+	}
+	w.Sched = sched
+	res, err := ski.Execute(k, w.CTI, sched)
+	if err != nil {
+		return Witness{}, fmt.Errorf("amplify: witness execution: %w", err)
+	}
+	if !res.HitBug(bug.ID) {
+		return Witness{}, fmt.Errorf("%w: schedule %q does not fire bug %d", ErrBadWitness, sched.Key(), bugID)
+	}
+	traces := CoverageTraces(k, res)
+	w.TraceA, w.TraceB = traces[0], traces[1]
+	return w, nil
+}
+
+// DiscoverWitness finds an observed failure for the planted bug the way a
+// fuzzing campaign would: sample up to samples random schedules over the
+// directed CTI and keep the first that fires. Bugs whose trigger needs
+// switches the sampler essentially never aligns (a TOCTOU post-check
+// pause is off every sequential trace) fall back to the ground-truth
+// breakpoint-pair witness.
+func DiscoverWitness(k *kernel.Kernel, bugID int32, samples int, seed uint64) (Witness, error) {
+	bug := findBug(k, bugID)
+	if bug == nil {
+		return Witness{}, fmt.Errorf("%w: no planted bug %d", ErrBadWitness, bugID)
+	}
+	w, err := directedWitness(k, bug)
+	if err != nil {
+		return Witness{}, err
+	}
+	sampler := ski.NewSampler(w.ProfA, w.ProfB, seed)
+	for i := 0; i < samples; i++ {
+		sched := sampler.Next()
+		res, err := ski.Execute(k, w.CTI, sched)
+		if err != nil {
+			return Witness{}, fmt.Errorf("amplify: witness sampling: %w", err)
+		}
+		if res.HitBug(bug.ID) {
+			w.Sched = sched
+			return w, nil
+		}
+	}
+	return RacyPairWitness(k, bugID)
+}
+
+// RacyPairWitness constructs the canonical observed failure for a planted
+// bug: the directed CTI under the Razzer-style breakpoint-pair schedule —
+// pause the writer immediately after its racy store (the last store of
+// its window-opening block), pause the reader immediately after its racy
+// read (the first load of its guard block), then hand control back to the
+// reader as the writer's trigger window closes (the last instruction of
+// the WindowClose block), so the reader's use runs before the writer's
+// withdraw path restores the racy state. Every planted kind fires under
+// this triple, and the switch points sit at the *edge* of their viability
+// windows, which is exactly how first-observed witnesses look in
+// practice: reproducible, but barely — the starting point bug
+// amplification exists for.
+//
+// The returned witness carries CoverageTraces of its own firing run, so
+// neighborhood edits and trial noise can move the reader-side hint even
+// though no sequential run reaches the reader's bug path.
+func RacyPairWitness(k *kernel.Kernel, bugID int32) (Witness, error) {
+	bug := findBug(k, bugID)
+	if bug == nil {
+		return Witness{}, fmt.Errorf("%w: no planted bug %d", ErrBadWitness, bugID)
+	}
+	// The racy store: last store of the writer's second block (the block
+	// the trigger window opens in for every planted kind).
+	wb := k.Funcs[k.Syscalls[bug.WriterSyscall].Fn].Blocks[1]
+	storeIdx := int32(-1)
+	for i, in := range k.Blocks[wb].Instrs {
+		if in.Op == kasm.OpStore {
+			storeIdx = int32(i)
+		}
+	}
+	// The racy read: first load of the reader's guard block.
+	rb := k.Funcs[k.Syscalls[bug.ReaderSyscall].Fn].Blocks[2]
+	loadIdx := int32(-1)
+	for i, in := range k.Blocks[rb].Instrs {
+		if in.Op == kasm.OpLoad {
+			loadIdx = int32(i)
+			break
+		}
+	}
+	if storeIdx < 0 || loadIdx < 0 {
+		return Witness{}, fmt.Errorf("%w: bug %d has no racy store/load pair", ErrBadWitness, bugID)
+	}
+	closeIdx := int32(len(k.Blocks[bug.WindowClose].Instrs) - 1)
+	sched := ski.Schedule{Hints: []ski.Hint{
+		{Thread: 0, Ref: sim.InstrRef{Block: wb, Idx: storeIdx}},
+		{Thread: 1, Ref: sim.InstrRef{Block: rb, Idx: loadIdx}},
+		{Thread: 0, Ref: sim.InstrRef{Block: bug.WindowClose, Idx: closeIdx}},
+	}}
+	w, err := WitnessUnder(k, bugID, sched)
+	if err != nil {
+		return Witness{}, fmt.Errorf("amplify: breakpoint pair: %w", err)
+	}
+	return w, nil
+}

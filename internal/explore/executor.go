@@ -31,6 +31,18 @@ type Executor interface {
 	ExecuteSteps(cti ski.CTI, sched ski.Schedule, stepLimit int) (*ski.Result, error)
 }
 
+// HookedExecutor is the optional executor extension for in-run
+// schedule-point hooks (ski.ExecHooks). Local backends (interp, compiled)
+// implement it; remote backends do not — callbacks cannot cross the wire —
+// so consumers type-assert and fall back to pre-planned schedules when the
+// assertion fails (amplify's mid-run mode does exactly this).
+type HookedExecutor interface {
+	Executor
+	// ExecuteHooked is ExecuteSteps with hooks evaluated at block
+	// boundaries; nil hooks is bit-identical to ExecuteSteps.
+	ExecuteHooked(cti ski.CTI, sched ski.Schedule, stepLimit int, hooks *ski.ExecHooks) (*ski.Result, error)
+}
+
 // Env carries everything an executor factory may need. Local backends use
 // only Kernel; the remote backend additionally needs the shard URLs (and
 // optionally the ring's virtual-node count).
@@ -147,6 +159,10 @@ func (e interpExecutor) ExecuteSteps(cti ski.CTI, sched ski.Schedule, stepLimit 
 	return ski.ExecuteSteps(e.k, cti, sched, stepLimit)
 }
 
+func (e interpExecutor) ExecuteHooked(cti ski.CTI, sched ski.Schedule, stepLimit int, hooks *ski.ExecHooks) (*ski.Result, error) {
+	return ski.ExecuteHooked(e.k, cti, sched, stepLimit, hooks)
+}
+
 // compiledExecutor is the direct-threaded backend: the kernel is compiled
 // once at construction and the read-only *sim.Program is shared race-free
 // across pool workers.
@@ -163,4 +179,8 @@ func (e compiledExecutor) Execute(cti ski.CTI, sched ski.Schedule) (*ski.Result,
 
 func (e compiledExecutor) ExecuteSteps(cti ski.CTI, sched ski.Schedule, stepLimit int) (*ski.Result, error) {
 	return ski.ExecuteCompiledSteps(e.p, cti, sched, stepLimit)
+}
+
+func (e compiledExecutor) ExecuteHooked(cti ski.CTI, sched ski.Schedule, stepLimit int, hooks *ski.ExecHooks) (*ski.Result, error) {
+	return ski.ExecuteCompiledHooked(e.p, cti, sched, stepLimit, hooks)
 }

@@ -35,6 +35,17 @@ type GenConfig struct {
 	// base experiments run without interrupts.
 	NumIRQs int
 
+	// NumMissedWakeup, NumDoubleFree and NumTOCTOU plant bugs of the
+	// richer families the bug-amplification experiments target (lost
+	// wakeups, error-path double frees, check-to-use races). All three
+	// default to 0 and are generated *after* the NumBugs classic bugs
+	// under their own derivation seeds, so enabling them never perturbs
+	// an existing kernel: the same (Seed, NumBugs) prefix stays
+	// bit-identical.
+	NumMissedWakeup int
+	NumDoubleFree   int
+	NumTOCTOU       int
+
 	// MutatedFns overrides the derivation seed of individual generic
 	// functions; used by Mutate to model kernel evolution.
 	MutatedFns map[int]uint64
@@ -162,6 +173,23 @@ func Generate(cfg GenConfig) *Kernel {
 			seed = s
 		}
 		gs.plantBug(int32(b), xrand.New(seed))
+	}
+
+	// Family bugs ride after the classics with distinct derivation labels,
+	// so kernels generated before these families existed are unchanged
+	// bit for bit. IDs continue the classic numbering.
+	nextBug := int32(cfg.NumBugs)
+	for i := 0; i < cfg.NumMissedWakeup; i++ {
+		gs.plantMissedWakeup(nextBug, xrand.New(root.SplitNamed(fmt.Sprintf("mwbug-%d", i)).Uint64()))
+		nextBug++
+	}
+	for i := 0; i < cfg.NumDoubleFree; i++ {
+		gs.plantDoubleFree(nextBug, xrand.New(root.SplitNamed(fmt.Sprintf("dfbug-%d", i)).Uint64()))
+		nextBug++
+	}
+	for i := 0; i < cfg.NumTOCTOU; i++ {
+		gs.plantTOCTOU(nextBug, xrand.New(root.SplitNamed(fmt.Sprintf("ttbug-%d", i)).Uint64()))
+		nextBug++
 	}
 
 	if err := k.Validate(); err != nil {
@@ -353,6 +381,44 @@ func (gs *genState) genIRQ(i int, rng *xrand.RNG) int32 {
 	return fnID
 }
 
+// bugNoise emits n schedule-insensitive filler instructions — the padding
+// that gives planted-bug trigger windows their width. It never writes r0,
+// which holds the 1-arg syscall's argument until the writer's arg gate
+// compares it: noise that clobbered r0 before the gate would silently turn
+// the planted bug into a dud on noise-draw-dependent seeds, breaking the
+// TriggerArg ground-truth contract.
+func bugNoise(rng *xrand.RNG, b *kasm.Block, n int) {
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpAddI, Rd: uint8(1 + rng.Intn(4)), Imm: 1})
+		case 1:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpXor, Rd: uint8(1 + rng.Intn(4)), Rs: uint8(rng.Intn(5))})
+		case 2:
+			b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpMovI, Rd: uint8(1 + rng.Intn(4)), Imm: int64(rng.Intn(8))})
+		}
+	}
+}
+
+// bugStore emits "store val to global addr" via the scratch register.
+func bugStore(b *kasm.Block, addr int32, val int64) {
+	b.Instrs = append(b.Instrs,
+		kasm.Instr{Op: kasm.OpMovI, Rd: 5, Imm: val},
+		kasm.Instr{Op: kasm.OpStore, Rs: 5, Addr: addr},
+	)
+}
+
+// bugGuard terminates b with "if global addr == val goto target".
+func bugGuard(b *kasm.Block, addr int32, val int64, target int32) {
+	b.Instrs = append(b.Instrs,
+		kasm.Instr{Op: kasm.OpLoad, Rd: 6, Addr: addr},
+		kasm.Instr{Op: kasm.OpCmpI, Rd: 6, Imm: val},
+		kasm.Instr{Op: kasm.OpJeq, Target: target},
+	)
+}
+
+func bugRet(b *kasm.Block) { b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpRet}) }
+
 // plantBug adds one planted concurrency bug, shaped after the paper's bug
 // #7 (Figure 6): a chain of ordering constraints that only precise
 // schedules satisfy.
@@ -391,32 +457,10 @@ func (gs *genState) plantBug(id int32, rng *xrand.RNG) {
 		kind = OrderViolation
 	}
 
-	noise := func(b *kasm.Block, n int) {
-		for i := 0; i < n; i++ {
-			switch rng.Intn(3) {
-			case 0:
-				b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpAddI, Rd: uint8(rng.Intn(5)), Imm: 1})
-			case 1:
-				b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpXor, Rd: uint8(rng.Intn(5)), Rs: uint8(rng.Intn(5))})
-			case 2:
-				b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpMovI, Rd: uint8(rng.Intn(5)), Imm: int64(rng.Intn(8))})
-			}
-		}
-	}
-	store := func(b *kasm.Block, addr int32, val int64) {
-		b.Instrs = append(b.Instrs,
-			kasm.Instr{Op: kasm.OpMovI, Rd: 5, Imm: val},
-			kasm.Instr{Op: kasm.OpStore, Rs: 5, Addr: addr},
-		)
-	}
-	guard := func(b *kasm.Block, addr int32, val int64, target int32) {
-		b.Instrs = append(b.Instrs,
-			kasm.Instr{Op: kasm.OpLoad, Rd: 6, Addr: addr},
-			kasm.Instr{Op: kasm.OpCmpI, Rd: 6, Imm: val},
-			kasm.Instr{Op: kasm.OpJeq, Target: target},
-		)
-	}
-	ret := func(b *kasm.Block) { b.Instrs = append(b.Instrs, kasm.Instr{Op: kasm.OpRet}) }
+	noise := func(b *kasm.Block, n int) { bugNoise(rng, b, n) }
+	store := bugStore
+	guard := bugGuard
+	ret := bugRet
 
 	// Reader function: gate on gC, then the guard chain to the bug block.
 	// Order-violation bugs add a fourth guard on gD, which the writer sets
@@ -512,6 +556,253 @@ func (gs *genState) plantBug(id int32, rng *xrand.RNG) {
 		ReaderSyscall: readerSC.ID, WriterSyscall: writerSC.ID,
 		GuardVars:  guards,
 		TriggerArg: trigArg,
+		// The gA window opens with w1's stores and is withdrawn inside w2.
+		WindowOpen: w1.ID, WindowClose: w2.ID,
+	})
+}
+
+// plantFamilySyscalls registers the reader/writer syscall pair every
+// family bug plants and returns their IDs.
+func (gs *genState) plantFamilySyscalls(id int32, family string, rFn, wFn int32) (reader, writer int32) {
+	k := gs.k
+	readerSC := Syscall{
+		ID: int32(len(k.Syscalls)), Name: fmt.Sprintf("sys_%s%d_r", family, id),
+		Fn: rFn, NumArgs: 1,
+	}
+	k.Syscalls = append(k.Syscalls, readerSC)
+	writerSC := Syscall{
+		ID: int32(len(k.Syscalls)), Name: fmt.Sprintf("sys_%s%d_w", family, id),
+		Fn: wFn, NumArgs: 1,
+	}
+	k.Syscalls = append(k.Syscalls, writerSC)
+	return readerSC.ID, writerSC.ID
+}
+
+// plantMissedWakeup plants a lost-wakeup bug.
+//
+//	Waiter:  gate on gC -> guard on gB (the arg-gated "waking" flag) ->
+//	         register (store gWait=1) -> check gWake; unset -> OpBug.
+//	Waker:   announce gC -> arg gate -> set gB -> load gWait; if the
+//	         waiter is registered, store gWake (the wakeup); otherwise
+//	         skip it -> withdraw gB and gC.
+//
+// The bug fires on the classic lost-wakeup interleaving: the waker reads
+// gWait before the waiter registers, decides no wakeup is needed, and the
+// waiter then registers and waits forever — here, reaches OpBug on the
+// unset gWake check. The trigger window is the waker's skip path
+// (WindowOpen) up to the withdrawal block (WindowClose): the waiter's
+// whole chain must run inside it.
+func (gs *genState) plantMissedWakeup(id int32, rng *xrand.RNG) {
+	k := gs.k
+	gWait := int32(k.NumGlobals)
+	gWake := int32(k.NumGlobals + 1)
+	gB := int32(k.NumGlobals + 2)
+	gC := int32(k.NumGlobals + 3)
+	k.NumGlobals += 4
+	k.InitMem = append(k.InitMem, 0, 0, 0, 0)
+	vWake := int64(rng.IntRange(1, 7))
+	vB := int64(rng.IntRange(1, 7))
+	vC := int64(rng.IntRange(1, 7))
+	trigArg := int64(rng.Intn(8))
+
+	// Waiter: r0 gate -> r2 guard -> r4 register+check -> r5 bug | r6 ok.
+	rFn := gs.newFunc(fmt.Sprintf("mw%d_waiter", id))
+	r0 := gs.newBlock(rFn)   // gate on gC
+	r1 := gs.newBlock(rFn)   // early return: the sequential path
+	r2 := gs.newBlock(rFn)   // guard on gB — the racy URB read
+	r3 := gs.newBlock(rFn)   // early return
+	r4 := gs.newBlock(rFn)   // register gWait, check gWake
+	rBug := gs.newBlock(rFn) // fallthrough: wakeup missed
+	rOK := gs.newBlock(rFn)  // wakeup observed
+	bugNoise(rng, r0, rng.IntRange(1, 3))
+	bugGuard(r0, gC, vC, r2.ID)
+	bugRet(r1)
+	bugNoise(rng, r2, rng.IntRange(0, 2))
+	bugGuard(r2, gB, vB, r4.ID)
+	bugRet(r3)
+	bugStore(r4, gWait, 1)
+	bugNoise(rng, r4, rng.IntRange(1, 3))
+	bugGuard(r4, gWake, vWake, rOK.ID)
+	rBug.Instrs = append(rBug.Instrs, kasm.Instr{Op: kasm.OpBug, Imm: int64(id)})
+	bugRet(rBug)
+	bugRet(rOK)
+
+	// Waker: w0 announce+arg gate -> w1 set gB, read gWait -> w2 skip
+	// window | w3 wake -> w4 withdraw -> w5 return.
+	wFn := gs.newFunc(fmt.Sprintf("mw%d_waker", id))
+	w0 := gs.newBlock(wFn)
+	w1 := gs.newBlock(wFn)
+	w2 := gs.newBlock(wFn) // skip path: no waiter seen, no wakeup stored
+	w3 := gs.newBlock(wFn) // wake path
+	w4 := gs.newBlock(wFn) // withdraw gB and gC on every path
+	w5 := gs.newBlock(wFn)
+	bugNoise(rng, w0, rng.IntRange(1, 3))
+	bugStore(w0, gC, vC)
+	w0.Instrs = append(w0.Instrs,
+		kasm.Instr{Op: kasm.OpCmpI, Rd: 0, Imm: trigArg},
+		kasm.Instr{Op: kasm.OpJne, Target: w4.ID},
+	)
+	bugStore(w1, gB, vB)
+	bugGuard(w1, gWait, 1, w3.ID)
+	bugNoise(rng, w2, rng.IntRange(2, 5)) // the lost-wakeup window
+	w2.Instrs = append(w2.Instrs, kasm.Instr{Op: kasm.OpJmp, Target: w4.ID})
+	bugStore(w3, gWake, vWake)
+	bugStore(w4, gB, 0)
+	bugStore(w4, gC, 0)
+	bugRet(w5)
+
+	readerID, writerID := gs.plantFamilySyscalls(id, "mw", rFn, wFn)
+	k.Bugs = append(k.Bugs, Bug{
+		ID: id, Kind: MissedWakeup, BugBlock: rBug.ID,
+		ReaderSyscall: readerID, WriterSyscall: writerID,
+		GuardVars:  []int32{gWait, gWake, gC, gB},
+		TriggerArg: trigArg,
+		WindowOpen: w2.ID, WindowClose: w4.ID,
+	})
+}
+
+// plantDoubleFree plants an error-path double free.
+//
+//	Writer (error path): announce gC -> arg gate -> set gErr, free the
+//	        resource (store gRef=0) -> window -> clear gErr -> withdraw.
+//	Reader (cleanup path): gate on gC -> guard gErr set -> load gRef;
+//	        already freed (0) -> OpBug (the second free).
+//
+// The reader's chain must run between w1 (both the error flag and the
+// freed state observable) and w2's gErr clear — an atomicity-violation-
+// shaped single window on the error path. gRef starts nonzero, so the
+// freed state is only ever observable inside the window.
+func (gs *genState) plantDoubleFree(id int32, rng *xrand.RNG) {
+	k := gs.k
+	gErr := int32(k.NumGlobals)
+	gRef := int32(k.NumGlobals + 1)
+	gC := int32(k.NumGlobals + 2)
+	k.NumGlobals += 3
+	k.InitMem = append(k.InitMem, 0, 1, 0) // gRef starts held (1)
+	vErr := int64(rng.IntRange(1, 7))
+	vC := int64(rng.IntRange(1, 7))
+	trigArg := int64(rng.Intn(8))
+
+	rFn := gs.newFunc(fmt.Sprintf("df%d_cleanup", id))
+	r0 := gs.newBlock(rFn) // gate on gC
+	r1 := gs.newBlock(rFn) // early return
+	r2 := gs.newBlock(rFn) // guard on gErr — the racy URB read
+	r3 := gs.newBlock(rFn) // early return
+	r4 := gs.newBlock(rFn) // load gRef: 0 means already freed
+	r5 := gs.newBlock(rFn) // still held: normal free, return
+	rBug := gs.newBlock(rFn)
+	bugNoise(rng, r0, rng.IntRange(1, 3))
+	bugGuard(r0, gC, vC, r2.ID)
+	bugRet(r1)
+	bugNoise(rng, r2, rng.IntRange(0, 2))
+	bugGuard(r2, gErr, vErr, r4.ID)
+	bugRet(r3)
+	bugGuard(r4, gRef, 0, rBug.ID)
+	bugStore(r5, gRef, 0) // first free on the cleanup path
+	bugRet(r5)
+	rBug.Instrs = append(rBug.Instrs, kasm.Instr{Op: kasm.OpBug, Imm: int64(id)})
+	bugRet(rBug)
+
+	wFn := gs.newFunc(fmt.Sprintf("df%d_errpath", id))
+	w0 := gs.newBlock(wFn) // announce gC, arg gate
+	w1 := gs.newBlock(wFn) // error taken: set gErr, free gRef
+	w2 := gs.newBlock(wFn) // window, then the error is handled
+	w3 := gs.newBlock(wFn) // withdraw gC, restore gRef
+	w4 := gs.newBlock(wFn)
+	bugNoise(rng, w0, rng.IntRange(1, 3))
+	bugStore(w0, gC, vC)
+	w0.Instrs = append(w0.Instrs,
+		kasm.Instr{Op: kasm.OpCmpI, Rd: 0, Imm: trigArg},
+		kasm.Instr{Op: kasm.OpJne, Target: w3.ID},
+	)
+	bugNoise(rng, w1, rng.IntRange(0, 2))
+	bugStore(w1, gErr, vErr)
+	bugStore(w1, gRef, 0) // the first free — window opens
+	bugNoise(rng, w2, rng.IntRange(3, 6))
+	bugStore(w2, gErr, 0) // error handled — window closes
+	bugStore(w3, gC, 0)
+	bugStore(w3, gRef, 1)
+	bugRet(w4)
+
+	readerID, writerID := gs.plantFamilySyscalls(id, "df", rFn, wFn)
+	k.Bugs = append(k.Bugs, Bug{
+		ID: id, Kind: DoubleFree, BugBlock: rBug.ID,
+		ReaderSyscall: readerID, WriterSyscall: writerID,
+		GuardVars:  []int32{gErr, gRef, gC},
+		TriggerArg: trigArg,
+		WindowOpen: w1.ID, WindowClose: w2.ID,
+	})
+}
+
+// plantTOCTOU plants a time-of-check-to-time-of-use race.
+//
+//	Writer: announce gC -> arg gate -> store gVal=vOK (the check opens)
+//	        -> window -> store gVal=vBad (the value changes) -> withdraw.
+//	Reader: gate on gC -> check gVal==vOK -> noise (the check-to-use
+//	        gap) -> re-load gVal; changed -> OpBug.
+//
+// Unlike the single-window families, firing needs *two* precise
+// switches: the reader must pass the check inside the window, pause in
+// the gap while the writer's w2 clobbers the value, and only then use
+// it. The ground-truth window is [w1, w2] on the writer.
+func (gs *genState) plantTOCTOU(id int32, rng *xrand.RNG) {
+	k := gs.k
+	gVal := int32(k.NumGlobals)
+	gC := int32(k.NumGlobals + 1)
+	k.NumGlobals += 2
+	k.InitMem = append(k.InitMem, 0, 0)
+	vOK := int64(rng.IntRange(1, 4))
+	vBad := vOK + int64(rng.IntRange(1, 3)) // always != vOK
+	vC := int64(rng.IntRange(1, 7))
+	trigArg := int64(rng.Intn(8))
+
+	rFn := gs.newFunc(fmt.Sprintf("tt%d_user", id))
+	r0 := gs.newBlock(rFn)   // gate on gC
+	r1 := gs.newBlock(rFn)   // early return
+	r2 := gs.newBlock(rFn)   // the check: gVal == vOK — the racy URB read
+	r3 := gs.newBlock(rFn)   // check failed: return
+	r4 := gs.newBlock(rFn)   // the gap, then the use: re-load gVal
+	rBug := gs.newBlock(rFn) // fallthrough: value changed under us
+	rOK := gs.newBlock(rFn)  // value still vOK
+	bugNoise(rng, r0, rng.IntRange(1, 3))
+	bugGuard(r0, gC, vC, r2.ID)
+	bugRet(r1)
+	bugNoise(rng, r2, rng.IntRange(0, 2))
+	bugGuard(r2, gVal, vOK, r4.ID)
+	bugRet(r3)
+	bugNoise(rng, r4, rng.IntRange(2, 5)) // the check-to-use gap
+	bugGuard(r4, gVal, vOK, rOK.ID)
+	rBug.Instrs = append(rBug.Instrs, kasm.Instr{Op: kasm.OpBug, Imm: int64(id)})
+	bugRet(rBug)
+	bugRet(rOK)
+
+	wFn := gs.newFunc(fmt.Sprintf("tt%d_changer", id))
+	w0 := gs.newBlock(wFn) // announce gC, arg gate
+	w1 := gs.newBlock(wFn) // the check opens: gVal = vOK
+	w2 := gs.newBlock(wFn) // the value changes: gVal = vBad
+	w3 := gs.newBlock(wFn) // withdraw
+	w4 := gs.newBlock(wFn)
+	bugNoise(rng, w0, rng.IntRange(1, 3))
+	bugStore(w0, gC, vC)
+	w0.Instrs = append(w0.Instrs,
+		kasm.Instr{Op: kasm.OpCmpI, Rd: 0, Imm: trigArg},
+		kasm.Instr{Op: kasm.OpJne, Target: w3.ID},
+	)
+	bugNoise(rng, w1, rng.IntRange(0, 2))
+	bugStore(w1, gVal, vOK)
+	bugNoise(rng, w2, rng.IntRange(3, 6))
+	bugStore(w2, gVal, vBad)
+	bugStore(w3, gC, 0)
+	bugStore(w3, gVal, 0)
+	bugRet(w4)
+
+	readerID, writerID := gs.plantFamilySyscalls(id, "tt", rFn, wFn)
+	k.Bugs = append(k.Bugs, Bug{
+		ID: id, Kind: TOCTOU, BugBlock: rBug.ID,
+		ReaderSyscall: readerID, WriterSyscall: writerID,
+		GuardVars:  []int32{gVal, gC},
+		TriggerArg: trigArg,
+		WindowOpen: w1.ID, WindowClose: w2.ID,
 	})
 }
 

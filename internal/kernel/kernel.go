@@ -46,6 +46,19 @@ const (
 	// OrderViolation: the bug fires when two writes from the peer thread
 	// are observed in an unintended order.
 	OrderViolation
+	// MissedWakeup: the waiter registers itself and checks for a wakeup
+	// that the waker already decided to skip — the lost-wakeup
+	// interleaving where the waker's waiter check races the waiter's
+	// registration.
+	MissedWakeup
+	// DoubleFree: an error path releases a resource and briefly leaves
+	// both the error flag and the freed state observable; a concurrent
+	// cleanup path sees the flag, finds the resource already freed, and
+	// frees it again.
+	DoubleFree
+	// TOCTOU: a time-of-check-to-time-of-use race — the checked value is
+	// clobbered by the peer thread between the reader's check and its use.
+	TOCTOU
 )
 
 func (k BugKind) String() string {
@@ -54,8 +67,14 @@ func (k BugKind) String() string {
 		return "atomicity-violation"
 	case OrderViolation:
 		return "order-violation"
+	case MissedWakeup:
+		return "missed-wakeup"
+	case DoubleFree:
+		return "double-free"
+	case TOCTOU:
+		return "toctou"
 	}
-	return "unknown"
+	return fmt.Sprintf("unknown(%d)", uint8(k))
 }
 
 // Bug is the ground truth for one planted concurrency bug.
@@ -76,6 +95,13 @@ type Bug struct {
 	// true negative that only input analysis — or a learned coverage
 	// predictor — can rule out.
 	TriggerArg int64
+	// WindowOpen and WindowClose are the writer-side blocks bounding the
+	// trigger window: the reader's remaining guard chain must execute
+	// after the writer leaves WindowOpen and before it completes
+	// WindowClose. This is the ground truth the bug-amplification
+	// experiments measure reproduction rates against.
+	WindowOpen  int32
+	WindowClose int32
 }
 
 // IRQ describes one interrupt handler: a function the executor can inject

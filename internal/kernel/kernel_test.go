@@ -289,14 +289,148 @@ func TestPropertyGenerateAlwaysValid(t *testing.T) {
 }
 
 func TestBugKindString(t *testing.T) {
-	if AtomicityViolation.String() != "atomicity-violation" {
-		t.Error(AtomicityViolation.String())
+	cases := []struct {
+		kind BugKind
+		want string
+	}{
+		{AtomicityViolation, "atomicity-violation"},
+		{OrderViolation, "order-violation"},
+		{MissedWakeup, "missed-wakeup"},
+		{DoubleFree, "double-free"},
+		{TOCTOU, "toctou"},
+		{BugKind(99), "unknown(99)"},
+		{BugKind(255), "unknown(255)"},
 	}
-	if OrderViolation.String() != "order-violation" {
-		t.Error(OrderViolation.String())
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("BugKind(%d).String() = %q, want %q", uint8(c.kind), got, c.want)
+		}
 	}
-	if BugKind(99).String() != "unknown" {
-		t.Error("unknown kind")
+}
+
+// familyConfig returns SmallConfig with one bug of each new family.
+func familyConfig(seed uint64) GenConfig {
+	cfg := SmallConfig(seed)
+	cfg.NumMissedWakeup = 1
+	cfg.NumDoubleFree = 1
+	cfg.NumTOCTOU = 1
+	return cfg
+}
+
+func TestFamilyBugsStructure(t *testing.T) {
+	cfg := familyConfig(7)
+	k := Generate(cfg)
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantBugs := cfg.NumBugs + 3
+	if len(k.Bugs) != wantBugs {
+		t.Fatalf("bugs = %d, want %d", len(k.Bugs), wantBugs)
+	}
+	// Each family bug adds a reader+writer syscall, like the classics.
+	wantSyscalls := cfg.NumSyscalls + 2*cfg.NumBugs + 2*3
+	if len(k.Syscalls) != wantSyscalls {
+		t.Errorf("syscalls = %d, want %d", len(k.Syscalls), wantSyscalls)
+	}
+	// Guard globals: 4 per classic, then 4 (missed-wakeup) + 3 (double
+	// free) + 2 (TOCTOU).
+	wantGlobals := cfg.NumGlobals + 4*cfg.NumBugs + 4 + 3 + 2
+	if k.NumGlobals != wantGlobals {
+		t.Errorf("globals = %d, want %d", k.NumGlobals, wantGlobals)
+	}
+	wantGuards := map[BugKind]int{MissedWakeup: 4, DoubleFree: 3, TOCTOU: 2}
+	seen := map[BugKind]int{}
+	for _, bug := range k.Bugs[cfg.NumBugs:] {
+		seen[bug.Kind]++
+		if n, ok := wantGuards[bug.Kind]; !ok {
+			t.Errorf("bug %d: unexpected kind %s after classics", bug.ID, bug.Kind)
+		} else if len(bug.GuardVars) != n {
+			t.Errorf("bug %d (%s): guard vars = %d, want %d",
+				bug.ID, bug.Kind, len(bug.GuardVars), n)
+		}
+		// Ground-truth trigger windows must name real writer-side blocks.
+		wo, wc := k.Block(bug.WindowOpen), k.Block(bug.WindowClose)
+		if wo == nil || wc == nil {
+			t.Fatalf("bug %d (%s): window [%d,%d] references missing blocks",
+				bug.ID, bug.Kind, bug.WindowOpen, bug.WindowClose)
+		}
+		wFn := k.Syscalls[bug.WriterSyscall].Fn
+		if wo.Fn != wFn || wc.Fn != wFn {
+			t.Errorf("bug %d (%s): window blocks not in the writer function",
+				bug.ID, bug.Kind)
+		}
+		bb := k.Block(bug.BugBlock)
+		found := false
+		for i := range bb.Instrs {
+			if bb.Instrs[i].Op == kasm.OpBug && bb.Instrs[i].Imm == int64(bug.ID) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("bug %d (%s): block b%d lacks OpBug(%d)",
+				bug.ID, bug.Kind, bug.BugBlock, bug.ID)
+		}
+	}
+	for kind := range wantGuards {
+		if seen[kind] != 1 {
+			t.Errorf("kind %s planted %d times, want 1", kind, seen[kind])
+		}
+	}
+}
+
+func TestClassicBugsHaveWindows(t *testing.T) {
+	k := Generate(SmallConfig(11))
+	for _, bug := range k.Bugs {
+		wo, wc := k.Block(bug.WindowOpen), k.Block(bug.WindowClose)
+		if wo == nil || wc == nil {
+			t.Fatalf("bug %d: window [%d,%d] references missing blocks",
+				bug.ID, bug.WindowOpen, bug.WindowClose)
+		}
+		wFn := k.Syscalls[bug.WriterSyscall].Fn
+		if wo.Fn != wFn || wc.Fn != wFn {
+			t.Errorf("bug %d: window blocks not in the writer function", bug.ID)
+		}
+	}
+}
+
+// TestFamilyOptInPreservesPrefix pins the compatibility promise in
+// GenConfig: enabling the new families must leave the family-free part of
+// the kernel bit-identical, because the families are generated last under
+// their own derivation labels.
+func TestFamilyOptInPreservesPrefix(t *testing.T) {
+	base := Generate(SmallConfig(42))
+	ext := Generate(familyConfig(42))
+	if len(ext.Blocks) <= len(base.Blocks) {
+		t.Fatalf("family kernel has %d blocks, base %d", len(ext.Blocks), len(base.Blocks))
+	}
+	for i := range base.Blocks {
+		if base.Blocks[i].Text() != ext.Blocks[i].Text() {
+			t.Fatalf("block %d changed when families were enabled", i)
+		}
+	}
+	for i := range base.Syscalls {
+		if base.Syscalls[i] != ext.Syscalls[i] {
+			t.Fatalf("syscall %d changed when families were enabled", i)
+		}
+	}
+	for i := range base.Bugs {
+		if base.Bugs[i].ID != ext.Bugs[i].ID || base.Bugs[i].Kind != ext.Bugs[i].Kind ||
+			base.Bugs[i].BugBlock != ext.Bugs[i].BugBlock {
+			t.Fatalf("classic bug %d changed when families were enabled", i)
+		}
+	}
+}
+
+func TestFamilyGenerationDeterministic(t *testing.T) {
+	a := Generate(familyConfig(9))
+	b := Generate(familyConfig(9))
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatalf("block counts differ: %d vs %d", a.NumBlocks(), b.NumBlocks())
+	}
+	for i := range a.Blocks {
+		if a.Blocks[i].Text() != b.Blocks[i].Text() {
+			t.Fatalf("block %d differs between identical seeds", i)
+		}
 	}
 }
 

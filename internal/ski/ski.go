@@ -213,7 +213,7 @@ func ExecuteSteps(k *kernel.Kernel, cti CTI, sched Schedule, stepLimit int) (*Re
 	return runSchedule(k, cti, sched, [2]execThread{
 		sim.NewThread(m, 0, cti.A.Calls),
 		sim.NewThread(m, 1, cti.B.Calls),
-	})
+	}, nil)
 }
 
 // ExecuteCompiled is Execute through the compiled direct-threaded executor:
@@ -236,7 +236,7 @@ func ExecuteCompiledSteps(p *sim.Program, cti CTI, sched Schedule, stepLimit int
 	return runSchedule(k, cti, sched, [2]execThread{
 		sim.NewCThread(p, m, 0, cti.A.Calls),
 		sim.NewCThread(p, m, 1, cti.B.Calls),
-	})
+	}, nil)
 }
 
 // execThread is the scheduler's view of a kernel thread; both the
@@ -250,7 +250,9 @@ type execThread interface {
 
 // runSchedule is the executor core shared by the interpreted and compiled
 // paths: the SKI uniprocessor scheduling loop over two pre-built threads.
-func runSchedule(k *kernel.Kernel, cti CTI, sched Schedule, threads [2]execThread) (*Result, error) {
+// hooks may be nil (the pre-planned-hints-only fast path, bit-identical to
+// the pre-hook executor).
+func runSchedule(k *kernel.Kernel, cti CTI, sched Schedule, threads [2]execThread, hooks *ExecHooks) (*Result, error) {
 	res := &Result{Covered: make([]bool, k.NumBlocks())}
 	res.CoveredBy[0] = make([]bool, k.NumBlocks())
 	res.CoveredBy[1] = make([]bool, k.NumBlocks())
@@ -338,6 +340,20 @@ func runSchedule(k *kernel.Kernel, cti CTI, sched Schedule, threads [2]execThrea
 				continue
 			}
 			qi++
+		}
+
+		// Schedule-point hook: every block entry is a preemption point a
+		// hook may seize. A preemption consumes this event's switch
+		// opportunity — the armed hint is not also matched against it.
+		if hooks != nil && hooks.SchedulePoint != nil && ev.EnteredBlock {
+			if hooks.SchedulePoint(cur, ev.Ref, globalStep) == HookPreempt {
+				other := 1 - cur
+				if !done[other] {
+					cur = other
+					res.Switches++
+				}
+				continue
+			}
 		}
 
 		// Hint firing: the earliest hint is armed only for its own thread.

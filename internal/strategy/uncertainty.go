@@ -63,3 +63,11 @@ func (s *S4) Commit(g *ctgraph.Graph, p Prediction) {
 
 func (s *S4) Name() string { return fmt.Sprintf("S4(margin=%.2g)", s.Margin) }
 func (s *S4) Reset()       { s.trials = make(map[int32]int) }
+
+// ObserveVersion implements VersionAware: a hot-swapped model redraws the
+// decision boundary, so trial caps accrued against the old model's
+// uncertainty band no longer protect anything — a block that was
+// borderline three times under v1 may be exactly the label the retrained
+// v2 needs. The per-block budget reopens, giving each served version its
+// own s4Limit trials per block.
+func (s *S4) ObserveVersion(string) { s.trials = make(map[int32]int) }

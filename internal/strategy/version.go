@@ -1,0 +1,21 @@
+package strategy
+
+// VersionAware is implemented by strategies whose selection memory is
+// tied to the model that produced the predictions they judged. When the
+// serving side hot-swaps a new model version mid-campaign, memory accrued
+// against the old model — per-block trial caps, in particular — describes
+// a decision boundary that no longer exists; ObserveVersion tells the
+// strategy so it can reopen its budget for the new model.
+type VersionAware interface {
+	ObserveVersion(version string)
+}
+
+// NotifyVersion forwards a newly-activated model version to s when it
+// implements VersionAware; other strategies are left alone. It is the
+// single call sites should use, so version plumbing never needs a type
+// switch of its own.
+func NotifyVersion(s Strategy, version string) {
+	if va, ok := s.(VersionAware); ok {
+		va.ObserveVersion(version)
+	}
+}

@@ -1,0 +1,44 @@
+package strategy
+
+import "testing"
+
+// A hot-swapped model version reopens S4's per-block trial budget: blocks
+// capped under the old model are selectable again under the new one.
+func TestS4ObserveVersionReopensTrialBudget(t *testing.T) {
+	s := NewS4(0.1)
+	g := graphWithBlocks(7)
+	p := scored(0.5, 0.5)
+	for i := 0; i < s4Limit; i++ {
+		if !Select(s, g, p) {
+			t.Fatalf("selection %d rejected before the limit", i)
+		}
+	}
+	if Select(s, g, p) {
+		t.Fatal("capped block selected before the version change")
+	}
+	NotifyVersion(s, "v2")
+	for i := 0; i < s4Limit; i++ {
+		if !Select(s, g, p) {
+			t.Fatalf("post-swap selection %d rejected: budget did not reopen", i)
+		}
+	}
+	if Select(s, g, p) {
+		t.Fatal("new version's budget is not capped")
+	}
+}
+
+// NotifyVersion leaves version-oblivious strategies untouched: S1's seen
+// bitmaps are score-derived but intentionally survive a swap (a repeated
+// signature is still a repeated signature).
+func TestNotifyVersionIgnoresObliviousStrategies(t *testing.T) {
+	s := NewS1()
+	g := graphWithBlocks(1, 2)
+	p := scored(0.5, 0.9, 0.1)
+	if !Select(s, g, p) {
+		t.Fatal("fresh bitmap rejected")
+	}
+	NotifyVersion(s, "v2")
+	if s.Interesting(g, p) {
+		t.Fatal("NotifyVersion cleared S1's memory")
+	}
+}

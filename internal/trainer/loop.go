@@ -143,8 +143,16 @@ func Learn(k *kernel.Kernel, m0 *pic.Model, tc *pic.TokenCache, cfg LoopConfig) 
 			return nil, err
 		}
 		fold.SettleCTI(c, plans[0], profs[i], outs[0])
-		if _, err := tr.MaybeRound(fold.Seconds()); err != nil {
+		round, err := tr.MaybeRound(fold.Seconds())
+		if err != nil {
 			return nil, err
+		}
+		if round != nil {
+			// A new version is live: version-aware strategies (S4) reopen
+			// their per-block trial budget, so the retrained model earns
+			// fresh uncertainty labels instead of inheriting the caps its
+			// predecessor exhausted.
+			strategy.NotifyVersion(cfg.Strat, round.Version)
 		}
 	}
 	res.Hist = fold.Finish()

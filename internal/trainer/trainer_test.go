@@ -227,3 +227,47 @@ func TestTrainerMinNewGatesRounds(t *testing.T) {
 		t.Fatal("registry serves the live training copy")
 	}
 }
+
+// budgetBlind hides S4's VersionAware implementation: embedding the
+// Strategy *interface* promotes only the Strategy methods, so
+// NotifyVersion no-ops and the trial caps survive every hot-swap.
+type budgetBlind struct{ strategy.Strategy }
+
+// Each published version must reopen S4's per-block trial budget
+// (strategy.NotifyVersion in the loop), so execution volume grows across
+// versions: under identical retraining, version-aware S4 keeps buying
+// labels where a cap-frozen S4 has gone exec-silent.
+func TestLearnS4ExecVolumeGrowsAcrossVersions(t *testing.T) {
+	k, m, tc := learnFixture(t, 71)
+
+	run := func(blind bool) *LoopResult {
+		st, err := strategy.New("s4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blind {
+			st = budgetBlind{st}
+		}
+		cfg := loopConfig("LOOP", st, 15)
+		cfg.NumCTIs = 8
+		cfg.Opts.ExecBudget = 6
+		cfg.Opts.InferenceCap = 200
+		res, err := Learn(k, m, tc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	aware := run(false)
+	blind := run(true)
+	if len(aware.Rounds) == 0 {
+		t.Fatal("retraining campaign published no versions")
+	}
+	t.Logf("version-aware S4: %d execs across %d versions; cap-frozen S4: %d execs across %d versions",
+		aware.Examples, len(aware.Versions), blind.Examples, len(blind.Versions))
+	if aware.Examples <= blind.Examples {
+		t.Fatalf("version-aware S4 executed %d <= cap-frozen %d: swaps did not reopen the trial budget",
+			aware.Examples, blind.Examples)
+	}
+}
